@@ -1,0 +1,35 @@
+//! Wire-format and transport costs: message encode/decode and transport
+//! round-trips on the metered network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtv_vfl::{MatrixPayload, Message, Network, PartyId};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let m = Message::GenSlice(MatrixPayload::new(64, 256, vec![0.5; 64 * 256]));
+    c.bench_function("encode_64x256_matrix_msg", |b| {
+        b.iter(|| black_box(m.encode()));
+    });
+    let bytes = m.encode();
+    c.bench_function("decode_64x256_matrix_msg", |b| {
+        b.iter(|| black_box(Message::decode(bytes.clone()).unwrap()));
+    });
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let net = Network::new(2);
+    let m = Message::GenSlice(MatrixPayload::new(64, 128, vec![1.0; 64 * 128]));
+    c.bench_function("send_recv_64x128", |b| {
+        b.iter(|| {
+            net.send(PartyId::Server, PartyId::Client(0), m.clone());
+            black_box(net.recv(PartyId::Client(0)));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_wire, bench_transport
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the tensor/autograd substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gtv_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn(n, n, &mut rng);
+        let b = Tensor::randn(n, n, &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x0 = Tensor::randn(128, 64, &mut rng);
+    let w0 = Tensor::randn(64, 64, &mut rng);
+    c.bench_function("mlp_forward_backward_128x64", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |g| {
+                let x = g.leaf(x0.clone());
+                let w = g.leaf(w0.clone());
+                let h = g.tanh(g.matmul(x, w));
+                let loss = g.mean_all(g.square(h));
+                black_box(g.grad(loss, &[w]));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_double_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x0 = Tensor::randn(64, 32, &mut rng);
+    let w0 = Tensor::randn(32, 16, &mut rng);
+    c.bench_function("gradient_penalty_64x32", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |g| {
+                let x = g.leaf(x0.clone());
+                let w = g.leaf(w0.clone());
+                let out = g.tanh(g.matmul(x, w));
+                let s = g.sum_all(out);
+                let gx = g.grad(s, &[x])[0];
+                let norm = g.l2_norm_rows(gx, 1e-12);
+                let pen = g.mean_all(g.square(g.add_scalar(norm, -1.0)));
+                black_box(g.grad(pen, &[w]));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_backward, bench_double_backward
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Per-round training latency for the key network partitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtv::{GtvConfig, GtvTrainer, NetPartition};
+use gtv_data::Dataset;
+use gtv_vfl::PartitionPlan;
+
+fn trainer(partition: NetPartition) -> GtvTrainer {
+    let table = Dataset::Loan.generate(400, 0);
+    let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(table.n_cols(), None, None);
+    let config = GtvConfig {
+        partition,
+        rounds: 0,
+        d_steps: 1,
+        batch: 64,
+        block_width: 128,
+        embedding_dim: 64,
+        ..GtvConfig::default()
+    };
+    GtvTrainer::new(table.vertical_split(&groups), config)
+}
+
+fn bench_round(c: &mut Criterion) {
+    for partition in [NetPartition::d2g0(), NetPartition::d2g2(), NetPartition::new(0, 2, 0, 2)] {
+        let mut t = trainer(partition);
+        c.bench_function(&format!("train_round_{}", partition.label().replace(' ', "_")), |b| {
+            b.iter(|| t.train_round());
+        });
+    }
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    let t = trainer(NetPartition::d2g0());
+    c.bench_function("synthesize_256_rows", |b| {
+        b.iter(|| t.synthesize(256, 1));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_round, bench_synthesize
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! §4.3.1 communication ablation: protocol bytes per round by network
+//! partition, by client count, and with the faithful (full-table upload)
+//! real path vs the optimized one — quantifying the paper's discussion of
+//! `D_0^2 G_0^2` vs `D_0^2 G_2^0` overheads and the cost of the
+//! privacy-preserving index selection.
+
+use gtv::{GtvConfig, GtvTrainer, NetPartition};
+use gtv_bench::report::MarkdownTable;
+use gtv_data::Dataset;
+use gtv_vfl::PartitionPlan;
+
+fn bytes_per_round(n_clients: usize, partition: NetPartition, faithful: bool) -> (f64, f64) {
+    let table = Dataset::Adult.generate(300, 0);
+    let groups = PartitionPlan::Even { n_clients }.column_groups(table.n_cols(), None, None);
+    let shards = table.vertical_split(&groups);
+    let config = GtvConfig {
+        partition,
+        rounds: 0,
+        d_steps: 1,
+        batch: 64,
+        block_width: 256,
+        embedding_dim: 64,
+        faithful_real_path: faithful,
+        ..GtvConfig::default()
+    };
+    let mut trainer = GtvTrainer::new(shards, config);
+    trainer.network().reset_stats();
+    let rounds = 5;
+    for _ in 0..rounds {
+        trainer.train_round();
+    }
+    let stats = trainer.network_stats();
+    (
+        stats.bytes as f64 / rounds as f64 / 1024.0,
+        stats.server_bytes() as f64 / rounds as f64 / 1024.0,
+    )
+}
+
+fn main() {
+    println!("# Communication ablation (adult stand-in, batch 64, width 256)\n");
+
+    println!("## KiB per round by partition (2 clients)\n");
+    let mut t = MarkdownTable::new(["partition", "KiB/round", "KiB/round through server"]);
+    for partition in NetPartition::all_nine() {
+        let (total, server) = bytes_per_round(2, partition, false);
+        t.row([partition.label(), format!("{total:.0}"), format!("{server:.0}")]);
+        eprintln!("{} done", partition.label());
+    }
+    t.print();
+
+    println!("## KiB per round by client count (D_0^2 G_2^0)\n");
+    let mut t = MarkdownTable::new(["clients", "KiB/round", "KiB/round through server"]);
+    for n in 2..=5usize {
+        let (total, server) = bytes_per_round(n, NetPartition::d2g0(), false);
+        t.row([n.to_string(), format!("{total:.0}"), format!("{server:.0}")]);
+    }
+    t.print();
+
+    println!("## Faithful privacy-preserving real path vs optimized (2 clients, D_0^2 G_2^0)\n");
+    let mut t = MarkdownTable::new(["real path", "KiB/round"]);
+    let (opt, _) = bytes_per_round(2, NetPartition::d2g0(), false);
+    let (faithful, _) = bytes_per_round(2, NetPartition::d2g0(), true);
+    t.row(["selected rows only".to_string(), format!("{opt:.0}")]);
+    t.row(["full-table upload (paper §3.1.6)".to_string(), format!("{faithful:.0}")]);
+    t.print();
+    println!("expected shape (paper): G_0^2 (generator on server) moves more bytes than");
+    println!("G_2^0; the privacy-preserving full-table real path costs ~rows/batch more.");
+}

@@ -1,0 +1,63 @@
+//! Fig. 8 — neural-network partition study: the nine `D_{n4}^{n3}
+//! G_{n2}^{n1}` partitions plus the centralized baseline, two clients with
+//! an even column split, every metric averaged over the five datasets.
+
+use gtv::NetPartition;
+use gtv_bench::report::{f3, f4, MarkdownTable};
+use gtv_bench::{run_centralized, run_gtv, ExperimentScale, RunOutcome};
+use gtv_data::Dataset;
+use gtv_vfl::PartitionPlan;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "# Fig. 8 — network partition (rows={}, rounds={}, repeats={})\n",
+        scale.rows, scale.rounds, scale.repeats
+    );
+
+    let mut table = MarkdownTable::new([
+        "config", "Δaccuracy", "ΔF1", "ΔAUC", "avg JSD", "avg WD", "Avg-client", "Across-client",
+    ]);
+
+    // Centralized baseline first.
+    let central: Vec<RunOutcome> =
+        Dataset::all().iter().map(|&ds| run_centralized(ds, scale.width, scale)).collect();
+    let c = RunOutcome::mean(&central);
+    table.row([
+        "centralized".to_string(),
+        f3(c.utility.accuracy),
+        f3(c.utility.f1),
+        f3(c.utility.auc),
+        f4(c.sim.avg_jsd),
+        f4(c.sim.avg_wd),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    eprintln!("centralized done ({:.0}s avg train)", c.seconds);
+
+    for partition in NetPartition::all_nine() {
+        let runs: Vec<RunOutcome> = Dataset::all()
+            .iter()
+            .map(|&ds| {
+                let n = ds.generate(4, 0).n_cols();
+                let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(n, None, None);
+                run_gtv(ds, &groups, partition, scale.width, scale)
+            })
+            .collect();
+        let r = RunOutcome::mean(&runs);
+        table.row([
+            partition.label(),
+            f3(r.utility.accuracy),
+            f3(r.utility.f1),
+            f3(r.utility.auc),
+            f4(r.sim.avg_jsd),
+            f4(r.sim.avg_wd),
+            f3(r.avg_client),
+            f3(r.across_client),
+        ]);
+        eprintln!("{} done ({:.0}s avg train)", partition.label(), r.seconds);
+    }
+    table.print();
+    println!("expected shape (paper): centralized best; D_0^2 (all FN blocks on server)");
+    println!("configurations beat the other six; D_0^2 G_0^2 ≈ D_0^2 G_2^0 on ML utility.");
+}

@@ -1,0 +1,905 @@
+//! The GTV training orchestration (Algorithm 1).
+//!
+//! Every training step builds one autograd graph spanning the simulated
+//! parties, while every tensor that crosses a party boundary is also routed
+//! through the byte-metered [`Network`] as a wire message — so the training
+//! math is exactly the WGAN-GP objective of the paper *and* the message
+//! trace (what each party can observe) is the protocol's. The server-side
+//! [`ServerObserver`] accumulates precisely the `(CV, idx_p)` pairs a
+//! semi-honest server sees, powering the Fig. 5/6 reconstruction analysis.
+
+use crate::config::{GtvConfig, IndexSharing};
+use crate::discriminator::SplitDiscriminator;
+use crate::generator::SplitGenerator;
+use crate::privacy::{column_truths, ClientIndexObserver, ColumnTruth, ServerObserver};
+use gtv_cond::{ClientCondSampler, CondChoice, CondLayout};
+use gtv_data::Table;
+use gtv_encoders::TableTransformer;
+use gtv_nn::{Adam, Ctx};
+use gtv_tensor::{Graph, Tensor, Var};
+use gtv_vfl::{negotiate_seed, MatrixPayload, Message, NetStats, Network, PartyId, SharedShuffler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-step loss history.
+#[derive(Debug, Clone, Default)]
+pub struct TrainHistory {
+    /// Discriminator (critic) loss per `D` step.
+    pub d_loss: Vec<f32>,
+    /// Generator loss per `G` step.
+    pub g_loss: Vec<f32>,
+}
+
+struct ClientState {
+    table: Table,
+    transformer: TableTransformer,
+    encoded: Tensor,
+    sampler: Option<ClientCondSampler>,
+    rng: StdRng,
+}
+
+struct CondRound {
+    p: usize,
+    choices: Vec<CondChoice>,
+    indices: Vec<usize>,
+    cv: Tensor,
+}
+
+/// The GTV trainer: a trusted-third-party server, `N` clients holding
+/// vertically-partitioned columns, and the split GAN of the paper.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gtv::{GtvConfig, GtvTrainer};
+/// use gtv_data::Dataset;
+///
+/// let table = Dataset::Loan.generate(500, 0);
+/// let n = table.n_cols();
+/// let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
+/// let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+/// trainer.train();
+/// let synthetic = trainer.synthesize(200, 1);
+/// assert_eq!(synthetic.n_rows(), 200);
+/// ```
+pub struct GtvTrainer {
+    config: GtvConfig,
+    clients: Vec<ClientState>,
+    initial_tables: Vec<Table>,
+    generator: SplitGenerator,
+    discriminator: SplitDiscriminator,
+    g_opt: Adam,
+    d_opt: Adam,
+    network: Network,
+    shuffler: SharedShuffler,
+    layout: CondLayout,
+    ratios: Vec<f64>,
+    observer: ServerObserver,
+    client_observers: Vec<ClientIndexObserver>,
+    /// Maps current row positions to initial row ids (tracks the shared
+    /// shuffle, which every client knows).
+    current_to_initial: Vec<usize>,
+    shuffling_enabled: bool,
+    history: TrainHistory,
+    n_rows: usize,
+    round: u64,
+    step: u64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for GtvTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GtvTrainer({} clients, partition {}, round {}/{})",
+            self.clients.len(),
+            self.config.partition,
+            self.round,
+            self.config.rounds
+        )
+    }
+}
+
+fn payload_of(t: &Tensor) -> MatrixPayload {
+    MatrixPayload::new(t.rows() as u32, t.cols() as u32, t.as_slice().to_vec())
+}
+
+impl GtvTrainer {
+    /// Creates a trainer from the clients' (row-aligned) local tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty, row counts differ, or any table is
+    /// empty.
+    pub fn new(tables: Vec<Table>, config: GtvConfig) -> Self {
+        assert!(!tables.is_empty(), "need at least one client table");
+        let n_rows = tables[0].n_rows();
+        assert!(n_rows > 0, "client tables must be non-empty");
+        assert!(
+            tables.iter().all(|t| t.n_rows() == n_rows),
+            "client tables must be row-aligned (same row count)"
+        );
+        let n_clients = tables.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Clients encode their local columns (Algorithm 1, step 1).
+        let mut clients = Vec::with_capacity(n_clients);
+        for (i, table) in tables.iter().enumerate() {
+            let transformer = TableTransformer::fit(table, config.max_modes, config.seed.wrapping_add(i as u64));
+            let encoded = transformer.encode(table, config.seed.wrapping_add(1000 + i as u64));
+            let sampler = ClientCondSampler::from_table(table);
+            clients.push(ClientState {
+                table: table.clone(),
+                transformer,
+                encoded,
+                sampler,
+                rng: StdRng::seed_from_u64(config.seed.wrapping_add(2000 + i as u64)),
+            });
+        }
+
+        let layout = CondLayout::new(
+            clients
+                .iter()
+                .map(|c| c.sampler.as_ref().map_or(0, ClientCondSampler::width))
+                .collect(),
+        );
+        let total_cols: usize = tables.iter().map(Table::n_cols).sum();
+        let ratios: Vec<f64> = tables.iter().map(|t| t.n_cols() as f64 / total_cols as f64).collect();
+
+        let client_widths: Vec<usize> = clients.iter().map(|c| c.transformer.width()).collect();
+        let client_spans: Vec<Vec<gtv_encoders::Span>> =
+            clients.iter().map(|c| c.transformer.spans()).collect();
+
+        let g_input = config.embedding_dim + layout.total_width();
+        let generator = SplitGenerator::new(&config, g_input, &ratios, &client_widths, client_spans, &mut rng);
+        let discriminator =
+            SplitDiscriminator::new(&config, &client_widths, &ratios, layout.total_width(), &mut rng);
+
+        let g_opt = Adam::new(gtv_nn::Module::params(&generator), config.adam);
+        let d_opt = Adam::new(gtv_nn::Module::params(&discriminator), config.adam);
+
+        let network = Network::new(n_clients);
+        // Clients negotiate the shared shuffle seed peer-to-peer; the server
+        // never observes it (§3.1.5).
+        let seeds = negotiate_seed(&network, n_clients, config.seed.wrapping_add(7));
+        let shuffler = SharedShuffler::new(seeds[0]);
+
+        let observer = ServerObserver::new(n_rows, layout.total_width());
+        let client_observers = (0..n_clients).map(|_| ClientIndexObserver::new(n_rows)).collect();
+        Self {
+            config,
+            initial_tables: tables,
+            clients,
+            generator,
+            discriminator,
+            g_opt,
+            d_opt,
+            network,
+            shuffler,
+            layout,
+            ratios,
+            observer,
+            client_observers,
+            current_to_initial: (0..n_rows).collect(),
+            shuffling_enabled: true,
+            history: TrainHistory::default(),
+            n_rows,
+            round: 0,
+            step: 0,
+            rng,
+        }
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &GtvConfig {
+        &self.config
+    }
+
+    /// The metered network (inspect traffic with [`Network::stats`]).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Traffic counters so far.
+    pub fn network_stats(&self) -> NetStats {
+        self.network.stats()
+    }
+
+    /// The server's accumulated `(CV, idx)` observations.
+    pub fn observer(&self) -> &ServerObserver {
+        &self.observer
+    }
+
+    /// What each curious client accumulated from the peer-to-peer index
+    /// stream (§3.1.6; empty counts under the default server-side sharing).
+    pub fn client_index_observers(&self) -> &[ClientIndexObserver] {
+        &self.client_observers
+    }
+
+    /// Per-step loss history.
+    pub fn history(&self) -> &TrainHistory {
+        &self.history
+    }
+
+    /// The global conditional-vector layout.
+    pub fn cond_layout(&self) -> &CondLayout {
+        &self.layout
+    }
+
+    /// Ground truth (in initial row order) for the reconstruction analysis.
+    pub fn column_truths(&self) -> Vec<ColumnTruth> {
+        column_truths(&self.initial_tables, &self.layout)
+    }
+
+    /// Enables/disables *training-with-shuffling* (enabled by default;
+    /// disabling reproduces the Fig. 5 vulnerability).
+    pub fn set_shuffling(&mut self, enabled: bool) {
+        self.shuffling_enabled = enabled;
+    }
+
+    fn route(&self, from: PartyId, to: PartyId, msg: Message) -> Message {
+        self.network.send(from, to, msg);
+        self.network.recv(to).1
+    }
+
+    /// Server-side selection of the CV-constructing client `p ~ P_r` among
+    /// clients that own categorical columns.
+    fn select_p(&mut self) -> Option<usize> {
+        let eligible: Vec<usize> =
+            (0..self.clients.len()).filter(|&i| self.clients[i].sampler.is_some()).collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let total: f64 = eligible.iter().map(|&i| self.ratios[i]).sum();
+        let mut u = self.rng.gen::<f64>() * total;
+        for &i in &eligible {
+            u -= self.ratios[i];
+            if u <= 0.0 {
+                return Some(i);
+            }
+        }
+        eligible.last().copied()
+    }
+
+    /// Steps 4/18 of Algorithm 1: CV construction by the selected client,
+    /// upload of `(CV_p, idx_p)` to the server.
+    fn sample_condition(&mut self) -> Option<CondRound> {
+        let p = self.select_p()?;
+        // Server notifies every client of the round and the selected
+        // constructor.
+        for i in 0..self.clients.len() {
+            let _ = self.route(
+                PartyId::Server,
+                PartyId::Client(i),
+                Message::RoundStart { round: self.step, selected: p as u32 },
+            );
+        }
+        let batch = self.config.batch;
+        let client = &mut self.clients[p];
+        let sampler = client.sampler.as_ref().expect("selected client has a sampler");
+        let cond = sampler.sample_batch(batch, &mut client.rng);
+        let cv = sampler.materialize(&cond.choices, self.layout.offset(p), self.layout.total_width());
+        let indices_u32: Vec<u32> = cond.row_indices.iter().map(|&i| i as u32).collect();
+        match self.config.index_sharing {
+            IndexSharing::Server => {
+                // idx_p is shared only between client p and the server
+                // (§3.1.4).
+                let delivered = self.route(
+                    PartyId::Client(p),
+                    PartyId::Server,
+                    Message::CondUpload { cv: payload_of(&cv), indices: indices_u32 },
+                );
+                let Message::CondUpload { cv: cv_recv, indices } = delivered else {
+                    unreachable!("route returns the sent message type");
+                };
+                // The server records what it just observed (the attack
+                // surface of Fig. 5).
+                let cv = Tensor::from_vec(cv_recv.rows as usize, cv_recv.cols as usize, cv_recv.data);
+                let bits: Vec<usize> = (0..cv.rows())
+                    .map(|r| {
+                        cv.row_slice(r)
+                            .iter()
+                            .position(|&v| v == 1.0)
+                            .expect("conditional vector row must have a hot bit")
+                    })
+                    .collect();
+                self.observer.record(&indices, &bits);
+                Some(CondRound {
+                    p,
+                    choices: cond.choices,
+                    indices: indices.iter().map(|&i| i as usize).collect(),
+                    cv,
+                })
+            }
+            IndexSharing::PeerToPeer => {
+                // The rejected alternative (§3.1.6): the CV still goes to
+                // the server (it feeds D^s), but the indices go peer-to-peer
+                // so clients can select rows locally.
+                let _ = self.route(
+                    PartyId::Client(p),
+                    PartyId::Server,
+                    Message::CondUpload { cv: payload_of(&cv), indices: Vec::new() },
+                );
+                for j in 0..self.clients.len() {
+                    if j == p {
+                        continue;
+                    }
+                    let delivered = self.route(
+                        PartyId::Client(p),
+                        PartyId::Client(j),
+                        Message::IndexShare { indices: indices_u32.clone() },
+                    );
+                    let Message::IndexShare { indices } = delivered else {
+                        unreachable!("route returns the sent message type");
+                    };
+                    // A curious client maps the indices back to individuals
+                    // (it knows every shared shuffle) and mines frequencies.
+                    let initial: Vec<usize> =
+                        indices.iter().map(|&i| self.current_to_initial[i as usize]).collect();
+                    self.client_observers[j].record(&initial);
+                }
+                Some(CondRound { p, choices: cond.choices, indices: cond.row_indices, cv })
+            }
+        }
+    }
+
+    /// Synthetic forward pass shared by both phases: noise + CV through
+    /// `G^t`, `Split`, per-client `G_i^b` and `D_i^b`. Returns
+    /// `(slices, head_logits, activations, synth_d_logits)`.
+    #[allow(clippy::type_complexity)]
+    fn synthetic_path(
+        &mut self,
+        g: &Graph,
+        ctx: &Ctx<'_>,
+        cv: Option<&Tensor>,
+        batch: usize,
+        detach_for_d: bool,
+    ) -> (Vec<Var>, Vec<Var>, Vec<Var>, Vec<Var>) {
+        let z = Tensor::randn(batch, self.config.embedding_dim, &mut self.rng);
+        let g_in = match cv {
+            Some(cv) => Tensor::concat_cols(&[&z, cv]),
+            None => z,
+        };
+        let g_in = g.leaf(g_in);
+        let slices = self.generator.top_forward(ctx, g_in);
+        let mut head_logits = Vec::with_capacity(self.clients.len());
+        let mut activations = Vec::with_capacity(self.clients.len());
+        let mut d_logits = Vec::with_capacity(self.clients.len());
+        #[allow(clippy::needless_range_loop)] // i is the client/protocol id
+        for i in 0..self.clients.len() {
+            self.network.send(
+                PartyId::Server,
+                PartyId::Client(i),
+                Message::GenSlice(payload_of(&g.value(slices[i]))),
+            );
+            let _ = self.network.recv(PartyId::Client(i));
+            let (logits, act) = self.generator.client_forward(ctx, i, slices[i]);
+            let act_for_d = if detach_for_d { g.detach(act) } else { act };
+            let dl = self.discriminator.client_forward(ctx, i, act_for_d);
+            let dl = self.apply_dp_noise(g, dl);
+            self.network.send(
+                PartyId::Client(i),
+                PartyId::Server,
+                Message::SynthLogits(payload_of(&g.value(dl))),
+            );
+            let _ = self.network.recv(PartyId::Server);
+            head_logits.push(logits);
+            activations.push(act_for_d);
+            d_logits.push(dl);
+        }
+        (slices, head_logits, activations, d_logits)
+    }
+
+    /// §3.3 protection knob: Gaussian noise on an uploaded logit matrix.
+    fn apply_dp_noise(&mut self, g: &Graph, logits: Var) -> Var {
+        let sigma = self.config.dp_noise_sigma;
+        if sigma <= 0.0 {
+            return logits;
+        }
+        let (rows, cols) = g.shape(logits);
+        let noise = Tensor::randn(rows, cols, &mut self.rng).mul_scalar(sigma);
+        g.add(logits, g.leaf(noise))
+    }
+
+    /// One discriminator step (Algorithm 1 steps 3–16).
+    fn d_step(&mut self) {
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, self.config.seed.wrapping_add(self.step * 3 + 1));
+        self.step += 1;
+        let batch = self.config.batch;
+        let cond = self.sample_condition();
+        let cv_t = cond.as_ref().map(|c| c.cv.clone());
+
+        let (_, _, fake_acts, synth_logits) =
+            self.synthetic_path(&g, &ctx, cv_t.as_ref(), batch, true);
+        let cv_fake = cv_t.as_ref().map(|t| g.leaf(t.clone()));
+        let y_fake = self.discriminator.server_forward(&ctx, &synth_logits, cv_fake);
+
+        // Real path: all clients contribute rows idx_p (steps 9–14).
+        let indices: Vec<usize> = match &cond {
+            Some(c) => c.indices.clone(),
+            None => (0..batch).map(|_| self.rng.gen_range(0..self.n_rows)).collect(),
+        };
+        let mut real_rows: Vec<Tensor> = Vec::with_capacity(self.clients.len());
+        let mut real_logits: Vec<Var> = Vec::with_capacity(self.clients.len());
+        for i in 0..self.clients.len() {
+            let selected_rows = self.clients[i].encoded.select_rows(&indices);
+            let is_p = cond.as_ref().is_none_or(|c| c.p == i);
+            // In the peer-to-peer variant clients know idx_p and always
+            // select locally; the full-table upload is the privacy price of
+            // the server-side design only.
+            let full_upload = self.config.faithful_real_path
+                && !is_p
+                && self.config.index_sharing == IndexSharing::Server;
+            if full_upload {
+                // The client passes its *entire* table through D_i^b and the
+                // server selects the idx_p rows from the uploaded logits.
+                let full = g.leaf(self.clients[i].encoded.clone());
+                let logits_full = self.discriminator.client_forward(&ctx, i, full);
+                let logits_full = self.apply_dp_noise(&g, logits_full);
+                self.network.send(
+                    PartyId::Client(i),
+                    PartyId::Server,
+                    Message::RealLogits(payload_of(&g.value(logits_full))),
+                );
+                let _ = self.network.recv(PartyId::Server);
+                real_logits.push(g.select_rows(logits_full, &indices));
+            } else {
+                let leaf = g.leaf(selected_rows.clone());
+                let logits = self.discriminator.client_forward(&ctx, i, leaf);
+                let logits = self.apply_dp_noise(&g, logits);
+                self.network.send(
+                    PartyId::Client(i),
+                    PartyId::Server,
+                    Message::RealLogits(payload_of(&g.value(logits))),
+                );
+                let _ = self.network.recv(PartyId::Server);
+                real_logits.push(logits);
+            }
+            real_rows.push(selected_rows);
+        }
+        let cv_real = cv_t.as_ref().map(|t| g.leaf(t.clone()));
+        let y_real = self.discriminator.server_forward(&ctx, &real_logits, cv_real);
+
+        // WGAN-GP gradient penalty on interpolates (per client slice + CV).
+        let eps = Tensor::rand_uniform(batch, 1, 0.0, 1.0, &mut self.rng);
+        let mut hat_vars: Vec<Var> = Vec::with_capacity(self.clients.len());
+        let mut hat_logits: Vec<Var> = Vec::with_capacity(self.clients.len());
+        for i in 0..self.clients.len() {
+            let fake_v = g.value(fake_acts[i]);
+            let one_minus = eps.map(|v| 1.0 - v);
+            let hat = real_rows[i].mul(&eps).add(&fake_v.mul(&one_minus));
+            let hat_var = g.leaf(hat);
+            hat_vars.push(hat_var);
+            hat_logits.push(self.discriminator.client_forward(&ctx, i, hat_var));
+        }
+        let cv_hat = cv_t.as_ref().map(|t| g.leaf(t.clone()));
+        let y_hat = self.discriminator.server_forward(&ctx, &hat_logits, cv_hat);
+        let mut gp_wrt = hat_vars.clone();
+        if let Some(cvh) = cv_hat {
+            gp_wrt.push(cvh);
+        }
+        let grads = g.grad(g.sum_all(y_hat), &gp_wrt);
+        let gcat = g.concat_cols(&grads);
+        let norm = g.l2_norm_rows(gcat, 1e-12);
+        let penalty = g.mean_all(g.square(g.add_scalar(norm, -1.0)));
+
+        let d_loss = {
+            let mf = g.mean_all(y_fake);
+            let mr = g.mean_all(y_real);
+            let wass = g.sub(mf, mr);
+            g.add(wass, g.mul_scalar(penalty, self.config.gp_lambda))
+        };
+
+        self.d_opt.zero_grad();
+        self.g_opt.zero_grad();
+        // One backward pass: parameter grads + the gradient messages that
+        // cross the server→client boundary.
+        let mut extras = synth_logits.clone();
+        extras.extend(real_logits.iter().copied());
+        let boundary_grads = ctx.binder().backprop_with_extras(&g, d_loss, &extras);
+        for (i, gv) in boundary_grads.iter().enumerate() {
+            let client = i % self.clients.len();
+            self.network.send(
+                PartyId::Server,
+                PartyId::Client(client),
+                Message::GradLogits(payload_of(&g.value(*gv))),
+            );
+            let _ = self.network.recv(PartyId::Client(client));
+        }
+        self.d_opt.step();
+        self.history.d_loss.push(g.value(d_loss).item());
+    }
+
+    /// One generator step (Algorithm 1 steps 18–22).
+    fn g_step(&mut self) {
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, self.config.seed.wrapping_add(self.step * 3 + 2));
+        self.step += 1;
+        let batch = self.config.batch;
+        let cond = self.sample_condition();
+        let cv_t = cond.as_ref().map(|c| c.cv.clone());
+
+        let (slices, head_logits, _, synth_logits) =
+            self.synthetic_path(&g, &ctx, cv_t.as_ref(), batch, false);
+        let cv_var = cv_t.as_ref().map(|t| g.leaf(t.clone()));
+        let y_fake = self.discriminator.server_forward(&ctx, &synth_logits, cv_var);
+        let mut g_loss = g.neg(g.mean_all(y_fake));
+
+        // CTGAN generator conditional loss: cross-entropy between the
+        // conditioned one-hot span and the sampled category, on client p.
+        if let Some(c) = &cond {
+            let info = self.clients[c.p].transformer.categorical_info().to_vec();
+            for col in &info {
+                let mut mask = Tensor::zeros(batch, col.n_categories);
+                let mut any = false;
+                for (r, ch) in c.choices.iter().enumerate() {
+                    if ch.column == col.column {
+                        mask.set(r, ch.category, 1.0);
+                        any = true;
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                let span = g.slice_cols(head_logits[c.p], col.onehot_start, col.n_categories);
+                let sm = g.softmax_rows(span);
+                let lp = g.ln(g.add_scalar(sm, 1e-9));
+                let ce = g.neg(g.sum_all(g.mul(g.leaf(mask), lp)));
+                g_loss = g.add(g_loss, g.mul_scalar(ce, 1.0 / batch as f32));
+            }
+        }
+
+        self.g_opt.zero_grad();
+        self.d_opt.zero_grad();
+        let boundary_grads = ctx.binder().backprop_with_extras(&g, g_loss, &slices);
+        for (i, gv) in boundary_grads.iter().enumerate() {
+            self.network.send(
+                PartyId::Server,
+                PartyId::Client(i),
+                Message::GradGenSlice(payload_of(&g.value(*gv))),
+            );
+            let _ = self.network.recv(PartyId::Client(i));
+        }
+        self.g_opt.step();
+        self.history.g_loss.push(g.value(g_loss).item());
+    }
+
+    /// Step 23: every client shuffles its local data with the shared,
+    /// server-hidden seed.
+    fn end_of_round_shuffle(&mut self) {
+        if !self.shuffling_enabled {
+            return;
+        }
+        let perm = self.shuffler.permutation(self.n_rows, self.round);
+        for client in &mut self.clients {
+            client.table = client.table.select_rows(&perm);
+            client.encoded = client.encoded.select_rows(&perm);
+            client.sampler = ClientCondSampler::from_table(&client.table);
+        }
+        // Every client can track the composed permutation (it applies it);
+        // the server cannot.
+        self.current_to_initial = perm.iter().map(|&i| self.current_to_initial[i]).collect();
+    }
+
+    /// Runs one full round: `e` discriminator steps, one generator step and
+    /// the end-of-round shuffle.
+    pub fn train_round(&mut self) {
+        for _ in 0..self.config.d_steps {
+            self.d_step();
+        }
+        self.g_step();
+        self.end_of_round_shuffle();
+        self.round += 1;
+    }
+
+    /// Runs `config.rounds` rounds.
+    pub fn train(&mut self) {
+        for _ in 0..self.config.rounds {
+            self.train_round();
+        }
+    }
+
+    /// Secure synthetic-data publication (§3.1.7): generates `n` rows,
+    /// decodes each client's share locally, applies the shared publication
+    /// shuffle and publishes the shares. Returns one table per client (all
+    /// row-aligned).
+    pub fn synthesize_shares(&self, n: usize, seed: u64) -> Vec<Table> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = self.config.batch.max(1);
+        let mut per_client: Vec<Vec<Tensor>> = vec![Vec::new(); self.clients.len()];
+        let mut produced = 0;
+        while produced < n {
+            let take = batch.min(n - produced);
+            let cv = self.generation_cv(take, &mut rng);
+            let z = Tensor::randn(take, self.config.embedding_dim, &mut rng);
+            let g_in = match &cv {
+                Some(cv) => Tensor::concat_cols(&[&z, cv]),
+                None => z,
+            };
+            let g = Graph::new();
+            let ctx = Ctx::eval(&g, seed.wrapping_add(produced as u64));
+            let g_in = g.leaf(g_in);
+            let slices = self.generator.top_forward(&ctx, g_in);
+            for i in 0..self.clients.len() {
+                let (_, act) = self.generator.client_forward(&ctx, i, slices[i]);
+                per_client[i].push(g.value(act));
+            }
+            produced += take;
+        }
+        // Publication shuffle: shared among clients, unknown to the server.
+        let perm = self.shuffler.permutation(n, u64::MAX ^ seed);
+        let mut shares = Vec::with_capacity(self.clients.len());
+        for (i, chunks) in per_client.iter().enumerate() {
+            let refs: Vec<&Tensor> = chunks.iter().collect();
+            let matrix = Tensor::concat_rows(&refs).select_rows(&perm);
+            let share = self.clients[i].transformer.decode(&matrix);
+            self.network.send(
+                PartyId::Client(i),
+                PartyId::Public,
+                Message::SyntheticShare(payload_of(&matrix)),
+            );
+            let _ = self.network.recv(PartyId::Public);
+            shares.push(share);
+        }
+        shares
+    }
+
+    /// Convenience: the horizontal concatenation of all published shares.
+    pub fn synthesize(&self, n: usize, seed: u64) -> Table {
+        let shares = self.synthesize_shares(n, seed);
+        let refs: Vec<&Table> = shares.iter().collect();
+        Table::hconcat(&refs)
+    }
+
+    /// Exports every network weight (incl. batch-norm running statistics)
+    /// as a named dictionary. Restoring requires a trainer built with the
+    /// same tables, partition and config seed (the data-derived encoders are
+    /// re-fit deterministically at construction).
+    pub fn save_weights(&self) -> gtv_nn::StateDict {
+        use gtv_nn::Stateful;
+        let mut dict = gtv_nn::StateDict::new();
+        self.generator.save_state(&mut dict);
+        self.discriminator.save_state(&mut dict);
+        dict
+    }
+
+    /// Restores weights exported by [`GtvTrainer::save_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an entry is missing or shaped differently —
+    /// typically a partition/width/client mismatch with the saving run.
+    pub fn load_weights(&mut self, dict: &gtv_nn::StateDict) -> Result<(), gtv_nn::LoadStateError> {
+        use gtv_nn::Stateful;
+        self.generator.load_state(dict)?;
+        self.discriminator.load_state(dict)
+    }
+
+    /// Generation-time conditional vectors (original-frequency sampling).
+    fn generation_cv(&self, batch: usize, rng: &mut StdRng) -> Option<Tensor> {
+        if self.layout.total_width() == 0 {
+            return None;
+        }
+        // Pick a constructing client ~ P_r among eligible ones.
+        let eligible: Vec<usize> =
+            (0..self.clients.len()).filter(|&i| self.clients[i].sampler.is_some()).collect();
+        let total: f64 = eligible.iter().map(|&i| self.ratios[i]).sum();
+        let mut u = rng.gen::<f64>() * total;
+        let mut p = *eligible.last().expect("layout nonzero implies an eligible client");
+        for &i in &eligible {
+            u -= self.ratios[i];
+            if u <= 0.0 {
+                p = i;
+                break;
+            }
+        }
+        let sampler = self.clients[p].sampler.as_ref().expect("eligible client has a sampler");
+        let choices = sampler.sample_batch_original(batch, rng);
+        Some(sampler.materialize(&choices, self.layout.offset(p), self.layout.total_width()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtv_data::Dataset;
+
+    fn two_client_shards(rows: usize) -> Vec<Table> {
+        let t = Dataset::Loan.generate(rows, 0);
+        let n = t.n_cols();
+        t.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()])
+    }
+
+    #[test]
+    fn trainer_runs_a_round_and_synthesizes() {
+        let shards = two_client_shards(120);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        trainer.train_round();
+        assert_eq!(trainer.history().d_loss.len(), 1);
+        assert_eq!(trainer.history().g_loss.len(), 1);
+        let synth = trainer.synthesize(50, 9);
+        assert_eq!(synth.n_rows(), 50);
+        assert_eq!(synth.n_cols(), 13);
+    }
+
+    #[test]
+    fn all_nine_partitions_train() {
+        for partition in crate::NetPartition::all_nine() {
+            let shards = two_client_shards(60);
+            let config = GtvConfig { partition, ..GtvConfig::smoke() };
+            let mut trainer = GtvTrainer::new(shards, config);
+            trainer.train_round();
+            let shares = trainer.synthesize_shares(10, 0);
+            assert_eq!(shares.len(), 2, "{partition}");
+            assert_eq!(shares[0].n_rows(), 10, "{partition}");
+        }
+    }
+
+    #[test]
+    fn traffic_is_metered_and_server_never_sees_seed() {
+        let shards = two_client_shards(80);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        let before = trainer.network_stats();
+        // Seed negotiation happened at construction, peer-to-peer only.
+        assert_eq!(before.server_bytes(), 0);
+        trainer.train_round();
+        let after = trainer.network_stats();
+        assert!(after.server_bytes() > 0, "protocol traffic must be metered");
+        assert!(after.messages > before.messages);
+    }
+
+    #[test]
+    fn observer_accumulates_cv_index_pairs() {
+        let shards = two_client_shards(80);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        trainer.train_round();
+        // smoke config: 1 d_step + 1 g_step, each samples a condition batch.
+        assert_eq!(trainer.observer().observations(), 2 * 32);
+    }
+
+    #[test]
+    fn faithful_real_path_matches_row_counts() {
+        let shards = two_client_shards(60);
+        let config = GtvConfig { faithful_real_path: true, ..GtvConfig::smoke() };
+        let mut trainer = GtvTrainer::new(shards, config);
+        trainer.train_round();
+        // RealLogits messages from non-selected clients carry the full table
+        // (60 rows), so the real-path traffic must exceed batch-only (32).
+        let stats = trainer.network_stats();
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn three_clients_supported() {
+        let t = Dataset::Loan.generate(90, 0);
+        let shards = t.vertical_split(&[
+            (0..4).collect(),
+            (4..8).collect(),
+            (8..t.n_cols()).collect(),
+        ]);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        trainer.train_round();
+        let synth = trainer.synthesize(20, 0);
+        assert_eq!(synth.n_cols(), 13);
+    }
+
+    #[test]
+    fn dp_noise_changes_training_but_runs() {
+        let shards = two_client_shards(80);
+        let mut clean = GtvTrainer::new(shards.clone(), GtvConfig::smoke());
+        clean.train_round();
+        let mut noisy = GtvTrainer::new(
+            shards,
+            GtvConfig { dp_noise_sigma: 0.5, ..GtvConfig::smoke() },
+        );
+        noisy.train_round();
+        assert_ne!(
+            clean.history().d_loss, noisy.history().d_loss,
+            "DP noise must perturb the loss trajectory"
+        );
+    }
+
+    #[test]
+    fn p2p_mode_keeps_indices_from_server_but_leaks_to_clients() {
+        let shards = two_client_shards(100);
+        let config = GtvConfig {
+            index_sharing: crate::IndexSharing::PeerToPeer,
+            rounds: 10,
+            ..GtvConfig::smoke()
+        };
+        let mut t = GtvTrainer::new(shards, config);
+        t.train();
+        // Server saw CVs but no indices → its reconstruction has nothing.
+        assert_eq!(t.observer().observations(), 0);
+        // At least one client accumulated the index stream.
+        let total: u64 = t.client_index_observers().iter().map(|o| o.observations()).sum();
+        assert!(total > 0, "peer-to-peer sharing must feed client observers");
+    }
+
+    #[test]
+    fn client_width_multipliers_change_model_shape() {
+        let shards = two_client_shards(60);
+        let config = GtvConfig {
+            client_width_multipliers: vec![1.0, 3.0],
+            ..GtvConfig::smoke()
+        };
+        let mut boosted = GtvTrainer::new(shards, config);
+        boosted.train_round();
+        let synth = boosted.synthesize(10, 0);
+        assert_eq!(synth.n_cols(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "one width multiplier per client")]
+    fn width_multipliers_must_match_client_count() {
+        let shards = two_client_shards(40);
+        let config = GtvConfig { client_width_multipliers: vec![2.0], ..GtvConfig::smoke() };
+        let _ = GtvTrainer::new(shards, config);
+    }
+
+    #[test]
+    fn pure_continuous_tables_train_unconditioned() {
+        // No categorical columns anywhere: no CV, no D^s, no cond loss.
+        use gtv_data::{ColumnData, ColumnKind, ColumnMeta, Schema, Table};
+        let make = |names: &[&str], seed: u64| {
+            let metas = names.iter().map(|n| ColumnMeta::new(*n, ColumnKind::Continuous)).collect();
+            let cols = names
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    ColumnData::Float((0..50).map(|r| ((r as f64) * 0.1 + i as f64 + seed as f64).sin()).collect())
+                })
+                .collect();
+            Table::new(Schema::new(metas, None), cols)
+        };
+        let a = make(&["x1", "x2"], 0);
+        let b = make(&["y1", "y2", "y3"], 1);
+        let mut t = GtvTrainer::new(vec![a, b], GtvConfig::smoke());
+        t.train();
+        assert_eq!(t.observer().observations(), 0, "no conditions can be observed");
+        let synth = t.synthesize(20, 0);
+        assert_eq!(synth.n_cols(), 5);
+        assert_eq!(synth.n_rows(), 20);
+    }
+
+    #[test]
+    fn weights_roundtrip_reproduces_synthesis() {
+        let shards = two_client_shards(80);
+        let mut a = GtvTrainer::new(shards.clone(), GtvConfig::smoke());
+        a.train();
+        let dict = a.save_weights();
+        assert!(dict.len() > 10, "dict should hold every layer");
+        // A fresh trainer with the same construction seed but untrained
+        // weights produces different output until the weights are loaded.
+        let mut b = GtvTrainer::new(shards, GtvConfig::smoke());
+        assert_ne!(a.synthesize(20, 5), b.synthesize(20, 5));
+        b.load_weights(&dict).unwrap();
+        assert_eq!(a.synthesize(20, 5), b.synthesize(20, 5));
+    }
+
+    #[test]
+    fn load_weights_rejects_mismatched_partition() {
+        let shards = two_client_shards(60);
+        let a = GtvTrainer::new(shards.clone(), GtvConfig::smoke());
+        let dict = a.save_weights();
+        let mut b = GtvTrainer::new(
+            shards,
+            GtvConfig { partition: crate::NetPartition::d2g2(), ..GtvConfig::smoke() },
+        );
+        assert!(b.load_weights(&dict).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "row-aligned")]
+    fn rejects_misaligned_tables() {
+        let a = Dataset::Loan.generate(50, 0).select_columns(&[0, 1]);
+        let b = Dataset::Loan.generate(60, 0).select_columns(&[2, 3]);
+        let _ = GtvTrainer::new(vec![a, b], GtvConfig::smoke());
+    }
+}

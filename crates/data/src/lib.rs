@@ -1,0 +1,32 @@
+//! # gtv-data
+//!
+//! Tabular data model for the GTV reproduction: a column-oriented [`Table`]
+//! with the row/column operations vertical federated learning needs (seeded
+//! shared shuffling, vertical split/concat, stratified splits), simple CSV
+//! I/O, and seeded synthetic stand-ins for the paper's five benchmark
+//! datasets ([`Dataset`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use gtv_data::Dataset;
+//!
+//! let table = Dataset::Adult.generate(100, 42);
+//! assert_eq!(table.n_rows(), 100);
+//! // Vertically split evenly between two clients.
+//! let n = table.n_cols();
+//! let left: Vec<usize> = (0..n / 2).collect();
+//! let right: Vec<usize> = (n / 2..n).collect();
+//! let shards = table.vertical_split(&[left, right]);
+//! assert_eq!(shards.len(), 2);
+//! ```
+
+mod csv;
+mod schema;
+mod synth;
+mod table;
+
+pub use csv::{from_csv_string, infer_schema, read_csv, to_csv_string, write_csv, ParseCsvError};
+pub use schema::{ColumnKind, ColumnMeta, Schema};
+pub use synth::{Dataset, SynthColumn, SynthKind, SynthSpec};
+pub use table::{ColumnData, Table};

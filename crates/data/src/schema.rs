@@ -1,0 +1,207 @@
+//! Column and table schemas.
+
+use serde::{Deserialize, Serialize};
+
+/// The statistical type of a column, which decides how it is encoded for GAN
+/// training (one-hot, mode-specific normalization, or the CTAB-GAN
+/// mixed-type encoding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// Discrete column with a fixed category vocabulary.
+    Categorical {
+        /// Category labels; cell values index into this list.
+        categories: Vec<String>,
+    },
+    /// Real-valued column.
+    Continuous,
+    /// Column that is mostly continuous but has point masses at special
+    /// values (e.g. `Mortgage` where most entries are exactly `0`).
+    Mixed {
+        /// The special (categorical-like) values.
+        special_values: Vec<f64>,
+    },
+}
+
+impl ColumnKind {
+    /// Convenience constructor for a categorical kind from label strings.
+    pub fn categorical<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Self {
+        ColumnKind::Categorical { categories: labels.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of categories (categorical columns only).
+    pub fn n_categories(&self) -> Option<usize> {
+        match self {
+            ColumnKind::Categorical { categories } => Some(categories.len()),
+            _ => None,
+        }
+    }
+
+    /// True for [`ColumnKind::Categorical`].
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, ColumnKind::Categorical { .. })
+    }
+
+    /// True for [`ColumnKind::Continuous`].
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, ColumnKind::Continuous)
+    }
+
+    /// True for [`ColumnKind::Mixed`].
+    pub fn is_mixed(&self) -> bool {
+        matches!(self, ColumnKind::Mixed { .. })
+    }
+}
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name.
+    pub name: String,
+    /// Statistical type.
+    pub kind: ColumnKind,
+}
+
+impl ColumnMeta {
+    /// Creates column metadata.
+    pub fn new(name: impl Into<String>, kind: ColumnKind) -> Self {
+        Self { name: name.into(), kind }
+    }
+}
+
+/// A table schema: ordered columns plus an optional target column used by the
+/// ML-utility evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+    target: Option<usize>,
+}
+
+impl Schema {
+    /// Creates a schema. `target`, if given, must index a categorical column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range or not categorical.
+    pub fn new(columns: Vec<ColumnMeta>, target: Option<usize>) -> Self {
+        if let Some(t) = target {
+            assert!(t < columns.len(), "target index {t} out of range");
+            assert!(
+                columns[t].kind.is_categorical(),
+                "target column '{}' must be categorical",
+                columns[t].name
+            );
+        }
+        Self { columns, target }
+    }
+
+    /// Column metadata in order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Metadata of column `i`.
+    pub fn column(&self, i: usize) -> &ColumnMeta {
+        &self.columns[i]
+    }
+
+    /// Index of the target column, if any.
+    pub fn target(&self) -> Option<usize> {
+        self.target
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Sub-schema over the given column indices. The target is preserved if
+    /// it is among them.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        let target = self
+            .target
+            .and_then(|t| indices.iter().position(|&i| i == t));
+        Schema { columns, target }
+    }
+
+    /// Concatenates schemas side by side. At most one part may carry a
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than one part has a target column.
+    pub fn concat(parts: &[&Schema]) -> Schema {
+        let mut columns = Vec::new();
+        let mut target = None;
+        for p in parts {
+            if let Some(t) = p.target {
+                assert!(target.is_none(), "multiple parts define a target column");
+                target = Some(columns.len() + t);
+            }
+            columns.extend(p.columns.iter().cloned());
+        }
+        Schema { columns, target }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnMeta::new("age", ColumnKind::Continuous),
+                ColumnMeta::new("gender", ColumnKind::categorical(["M", "F"])),
+                ColumnMeta::new("mortgage", ColumnKind::Mixed { special_values: vec![0.0] }),
+                ColumnMeta::new("label", ColumnKind::categorical(["no", "yes"])),
+            ],
+            Some(3),
+        )
+    }
+
+    #[test]
+    fn lookup_and_target() {
+        let s = demo_schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("gender"), Some(1));
+        assert_eq!(s.target(), Some(3));
+        assert_eq!(s.column(1).kind.n_categories(), Some(2));
+    }
+
+    #[test]
+    fn project_remaps_target() {
+        let s = demo_schema();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.target(), Some(0));
+        assert_eq!(p.column(1).name, "age");
+        let q = s.project(&[0, 1]);
+        assert_eq!(q.target(), None);
+    }
+
+    #[test]
+    fn concat_offsets_target() {
+        let s = demo_schema();
+        let left = s.project(&[0, 1]);
+        let right = s.project(&[2, 3]);
+        let joined = Schema::concat(&[&left, &right]);
+        assert_eq!(joined.target(), Some(3));
+        assert_eq!(joined.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be categorical")]
+    fn target_must_be_categorical() {
+        let _ = Schema::new(vec![ColumnMeta::new("x", ColumnKind::Continuous)], Some(0));
+    }
+}

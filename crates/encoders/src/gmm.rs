@@ -1,0 +1,294 @@
+//! One-dimensional Gaussian mixture fitted with EM.
+//!
+//! This is the reproduction's stand-in for the *variational* Gaussian
+//! mixture CTGAN uses for mode-specific normalization: we fit a plain EM
+//! mixture with `max_components` components and prune components whose
+//! weight collapses below a threshold, which reproduces VGM's key behaviour
+//! (only as many active modes as the data supports).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WEIGHT_PRUNE_THRESHOLD: f64 = 0.005;
+const EM_ITERS: usize = 60;
+const MIN_STD_FRAC: f64 = 1e-4;
+
+/// A 1-D Gaussian mixture model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm1d {
+    weights: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Gmm1d {
+    /// Fits a mixture with up to `max_components` components.
+    ///
+    /// Components whose mixture weight collapses below 0.5% are pruned, so
+    /// the final [`Gmm1d::n_components`] may be smaller than requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `max_components == 0`.
+    pub fn fit(data: &[f64], max_components: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a GMM to empty data");
+        assert!(max_components > 0, "need at least one component");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(1e-12);
+        let min_std = range * MIN_STD_FRAC;
+
+        // Degenerate (constant) column: one tight component.
+        if range < 1e-12 {
+            return Self { weights: vec![1.0], means: vec![lo], stds: vec![1e-6_f64.max(lo.abs() * 1e-6)] };
+        }
+
+        let k = max_components.min(data.len());
+        // Quantile init with slight jitter.
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut means: Vec<f64> = (0..k)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / k as f64;
+                let idx = ((sorted.len() as f64 - 1.0) * q) as usize;
+                sorted[idx] + rng.gen_range(-0.01..0.01) * range
+            })
+            .collect();
+        let global_std = std_dev(data).max(min_std);
+        let mut stds = vec![global_std / k as f64 + min_std; k];
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![0.0f64; k];
+        for _ in 0..EM_ITERS {
+            // Accumulators.
+            let mut nk = vec![0.0f64; k];
+            let mut sum = vec![0.0f64; k];
+            let mut sq = vec![0.0f64; k];
+            for &x in data {
+                posterior(&weights, &means, &stds, x, &mut resp);
+                for j in 0..k {
+                    nk[j] += resp[j];
+                    sum[j] += resp[j] * x;
+                    sq[j] += resp[j] * x * x;
+                }
+            }
+            let n = data.len() as f64;
+            for j in 0..k {
+                if nk[j] < 1e-10 {
+                    weights[j] = 0.0;
+                    continue;
+                }
+                weights[j] = nk[j] / n;
+                means[j] = sum[j] / nk[j];
+                let var = (sq[j] / nk[j] - means[j] * means[j]).max(min_std * min_std);
+                stds[j] = var.sqrt();
+            }
+        }
+
+        // Prune near-empty components (VGM-like sparsity) and renormalize.
+        let mut out = Self { weights: Vec::new(), means: Vec::new(), stds: Vec::new() };
+        for j in 0..k {
+            if weights[j] >= WEIGHT_PRUNE_THRESHOLD {
+                out.weights.push(weights[j]);
+                out.means.push(means[j]);
+                out.stds.push(stds[j]);
+            }
+        }
+        if out.weights.is_empty() {
+            // Everything pruned (pathological); keep the heaviest component.
+            let j = weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            out.weights.push(1.0);
+            out.means.push(means[j]);
+            out.stds.push(stds[j].max(min_std));
+        }
+        let total: f64 = out.weights.iter().sum();
+        for w in &mut out.weights {
+            *w /= total;
+        }
+        out
+    }
+
+    /// Number of surviving components.
+    pub fn n_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Component mixture weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Component standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Posterior responsibilities `p(component | x)`.
+    pub fn responsibilities(&self, x: f64) -> Vec<f64> {
+        let mut resp = vec![0.0; self.n_components()];
+        posterior(&self.weights, &self.means, &self.stds, x, &mut resp);
+        resp
+    }
+
+    /// Samples a component from the posterior `p(component | x)` — the mode
+    /// assignment CTGAN uses during encoding.
+    pub fn sample_mode(&self, x: f64, rng: &mut StdRng) -> usize {
+        let resp = self.responsibilities(x);
+        let mut u = rng.gen::<f64>();
+        for (i, &r) in resp.iter().enumerate() {
+            u -= r;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        resp.len() - 1
+    }
+
+    /// Log-likelihood of the data under the mixture (for tests/diagnostics).
+    pub fn log_likelihood(&self, data: &[f64]) -> f64 {
+        data.iter()
+            .map(|&x| {
+                let p: f64 = self
+                    .weights
+                    .iter()
+                    .zip(&self.means)
+                    .zip(&self.stds)
+                    .map(|((w, m), s)| w * gauss_pdf(x, *m, *s))
+                    .sum();
+                p.max(1e-300).ln()
+            })
+            .sum()
+    }
+}
+
+fn std_dev(data: &[f64]) -> f64 {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    (data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
+}
+
+fn gauss_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / std;
+    (-0.5 * z * z).exp() / (std * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+fn posterior(weights: &[f64], means: &[f64], stds: &[f64], x: f64, out: &mut [f64]) {
+    let mut total = 0.0;
+    for j in 0..weights.len() {
+        let p = weights[j] * gauss_pdf(x, means[j], stds[j]);
+        out[j] = p;
+        total += p;
+    }
+    if total <= 0.0 {
+        // Numerically underflowed everywhere: assign to nearest component.
+        let nearest = means
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 - x).abs().total_cmp(&(b.1 - x).abs()))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        out.iter_mut().for_each(|v| *v = 0.0);
+        out[nearest] = 1.0;
+    } else {
+        out.iter_mut().for_each(|v| *v /= total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let center = if i % 2 == 0 { -5.0 } else { 5.0 };
+                center + rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_two_well_separated_modes() {
+        let data = bimodal(2000, 1);
+        let gmm = Gmm1d::fit(&data, 10, 0);
+        // Every surviving component sits inside one of the two modes, and
+        // the mixture mass splits roughly evenly between them.
+        let (mut low_mass, mut high_mass) = (0.0, 0.0);
+        for (m, w) in gmm.means().iter().zip(gmm.weights()) {
+            if *m < 0.0 {
+                assert!((m + 5.0).abs() < 1.5, "stray component at {m}");
+                low_mass += w;
+            } else {
+                assert!((m - 5.0).abs() < 1.5, "stray component at {m}");
+                high_mass += w;
+            }
+        }
+        assert!((low_mass - 0.5).abs() < 0.1, "low-mode mass {low_mass}");
+        assert!((high_mass - 0.5).abs() < 0.1, "high-mode mass {high_mass}");
+    }
+
+    #[test]
+    fn posterior_assigns_to_nearest_mode() {
+        let data = bimodal(1000, 2);
+        let gmm = Gmm1d::fit(&data, 4, 0);
+        let resp = gmm.responsibilities(-5.0);
+        let best = resp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!((gmm.means()[best] + 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn constant_column_yields_single_component() {
+        let gmm = Gmm1d::fit(&[3.0; 50], 5, 0);
+        assert_eq!(gmm.n_components(), 1);
+        assert!((gmm.means()[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = bimodal(500, 3);
+        let gmm = Gmm1d::fit(&data, 6, 1);
+        let total: f64 = gmm.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_components_dont_hurt_likelihood_much() {
+        let data = bimodal(1000, 4);
+        let g2 = Gmm1d::fit(&data, 2, 0);
+        let g8 = Gmm1d::fit(&data, 8, 0);
+        assert!(g8.log_likelihood(&data) >= g2.log_likelihood(&data) - 50.0);
+    }
+
+    #[test]
+    fn sample_mode_follows_posterior() {
+        let data = bimodal(1000, 5);
+        let gmm = Gmm1d::fit(&data, 4, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mode = gmm.sample_mode(5.0, &mut rng);
+        assert!((gmm.means()[mode] - 5.0).abs() < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn rejects_empty() {
+        let _ = Gmm1d::fit(&[], 3, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gtv-encoders
+//!
+//! The CTGAN/CTAB-GAN feature engineering used by GTV (paper §2.2, §3.1.4
+//! step 1):
+//!
+//! * [`OneHotEncoder`] for categorical columns;
+//! * [`ModeSpecificNormalizer`] (backed by an EM [`Gmm1d`]) for continuous
+//!   columns — the `(α, β)` encoding of CTGAN;
+//! * [`MixedEncoder`] for columns with point masses (CTAB-GAN);
+//! * [`TableTransformer`] to fit/encode/decode whole tables and report the
+//!   activation [`Span`]s the generator head and the conditional-vector
+//!   machinery need.
+//!
+//! In GTV each client fits a transformer on its *local* columns only — no
+//! raw data leaves the client.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtv_data::Dataset;
+//! use gtv_encoders::TableTransformer;
+//!
+//! let table = Dataset::Credit.generate(100, 0);
+//! let tf = TableTransformer::fit(&table, 5, 0);
+//! let encoded = tf.encode(&table, 1);
+//! assert_eq!(encoded.shape(), (100, tf.width()));
+//! ```
+
+mod gmm;
+mod msn;
+mod onehot;
+mod transformer;
+
+pub use gmm::Gmm1d;
+pub use msn::{MixedEncoder, ModeSpecificNormalizer};
+pub use onehot::OneHotEncoder;
+pub use transformer::{CategoricalInfo, ColumnLayout, Span, SpanKind, TableTransformer};

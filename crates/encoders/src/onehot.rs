@@ -1,0 +1,82 @@
+//! One-hot encoding for categorical columns.
+
+/// One-hot encoder over a fixed category count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneHotEncoder {
+    n_categories: usize,
+}
+
+impl OneHotEncoder {
+    /// Creates an encoder for `n_categories` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_categories == 0`.
+    pub fn new(n_categories: usize) -> Self {
+        assert!(n_categories > 0, "one-hot encoder needs at least one category");
+        Self { n_categories }
+    }
+
+    /// Encoded width.
+    pub fn width(&self) -> usize {
+        self.n_categories
+    }
+
+    /// Writes the one-hot pattern for `category` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range or `out` has the wrong length.
+    pub fn encode_into(&self, category: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.n_categories, "output slice width mismatch");
+        assert!((category as usize) < self.n_categories, "category {category} out of range");
+        out.fill(0.0);
+        out[category as usize] = 1.0;
+    }
+
+    /// Decodes a (possibly soft) one-hot slice by argmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn decode(&self, values: &[f32]) -> u32 {
+        assert_eq!(values.len(), self.n_categories, "input slice width mismatch");
+        let mut best = 0;
+        for (i, &v) in values.iter().enumerate() {
+            if v > values[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let enc = OneHotEncoder::new(4);
+        let mut buf = vec![0.0; 4];
+        for c in 0..4u32 {
+            enc.encode_into(c, &mut buf);
+            assert_eq!(buf.iter().sum::<f32>(), 1.0);
+            assert_eq!(enc.decode(&buf), c);
+        }
+    }
+
+    #[test]
+    fn decode_soft_vector() {
+        let enc = OneHotEncoder::new(3);
+        assert_eq!(enc.decode(&[0.2, 0.5, 0.3]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let enc = OneHotEncoder::new(2);
+        let mut buf = vec![0.0; 2];
+        enc.encode_into(5, &mut buf);
+    }
+}

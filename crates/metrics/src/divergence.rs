@@ -1,0 +1,114 @@
+//! Jensen–Shannon divergence and 1-D Wasserstein distance.
+
+/// Jensen–Shannon divergence between two discrete distributions, base-2
+/// (bounded in `[0, 1]`, symmetric).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or either sums to zero.
+pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let sp: f64 = p.iter().sum();
+    let sq: f64 = q.iter().sum();
+    assert!(sp > 0.0 && sq > 0.0, "distributions must have positive mass");
+    let kl = |a: &[f64], sa: f64, m: &dyn Fn(usize) -> f64| -> f64 {
+        a.iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(i, &v)| {
+                let pi = v / sa;
+                pi * (pi / m(i)).log2()
+            })
+            .sum()
+    };
+    let mix = |i: usize| 0.5 * (p[i] / sp + q[i] / sq);
+    0.5 * kl(p, sp, &mix) + 0.5 * kl(q, sq, &mix)
+}
+
+/// First Wasserstein distance between two empirical 1-D distributions
+/// (area between the empirical CDFs).
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+
+    // Walk the merged support accumulating |F_a - F_b| · Δx.
+    let mut all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    all.sort_by(f64::total_cmp);
+    all.dedup();
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let (na, nb) = (xs.len() as f64, ys.len() as f64);
+    let mut dist = 0.0;
+    for w in all.windows(2) {
+        while ia < xs.len() && xs[ia] <= w[0] {
+            ia += 1;
+        }
+        while ib < ys.len() && ys[ib] <= w[0] {
+            ib += 1;
+        }
+        let fa = ia as f64 / na;
+        let fb = ib as f64 / nb;
+        dist += (fa - fb).abs() * (w[1] - w[0]);
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsd_identical_is_zero() {
+        assert!(jsd(&[0.5, 0.5], &[0.5, 0.5]).abs() < 1e-12);
+        assert!(jsd(&[3.0, 1.0], &[6.0, 2.0]).abs() < 1e-12); // unnormalized
+    }
+
+    #[test]
+    fn jsd_disjoint_is_one() {
+        assert!((jsd(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_symmetric_and_bounded() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        let d1 = jsd(&p, &q);
+        let d2 = jsd(&q, &p);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn wasserstein_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(wasserstein_1d(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_shift_equals_offset() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v + 2.5).collect();
+        let d = wasserstein_1d(&a, &b);
+        assert!((d - 2.5).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn wasserstein_point_masses() {
+        let d = wasserstein_1d(&[0.0], &[3.0]);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_different_sample_sizes() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [1.0];
+        let d = wasserstein_1d(&a, &b);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

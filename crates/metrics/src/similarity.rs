@@ -1,0 +1,193 @@
+//! Table-level statistical-similarity metrics: Avg JSD, Avg WD and the
+//! Diff. Corr. family from the paper's §4.2.2.
+
+use crate::association::{associations, cross_associations, matrix_l2_diff};
+use crate::divergence::{jsd, wasserstein_1d};
+use gtv_data::{ColumnKind, Table};
+
+/// Average Jensen–Shannon divergence over the categorical columns shared by
+/// `real` and `synthetic` (0 when there are none).
+///
+/// # Panics
+///
+/// Panics if the schemas differ.
+pub fn average_jsd(real: &Table, synthetic: &Table) -> f64 {
+    assert_eq!(real.schema(), synthetic.schema(), "schemas must match");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (i, meta) in real.schema().columns().iter().enumerate() {
+        if meta.kind.is_categorical() {
+            let p: Vec<f64> = real.category_counts(i).iter().map(|&c| c as f64).collect();
+            let q: Vec<f64> = synthetic.category_counts(i).iter().map(|&c| c as f64).collect();
+            // Synthetic may have an empty column distribution if tiny; guard.
+            if p.iter().sum::<f64>() > 0.0 && q.iter().sum::<f64>() > 0.0 {
+                total += jsd(&p, &q);
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Average Wasserstein distance over continuous/mixed columns, each column
+/// normalized by the real column's range so that distances are comparable
+/// across columns and datasets (0 when there are no continuous columns).
+///
+/// # Panics
+///
+/// Panics if the schemas differ.
+pub fn average_wd(real: &Table, synthetic: &Table) -> f64 {
+    assert_eq!(real.schema(), synthetic.schema(), "schemas must match");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (i, meta) in real.schema().columns().iter().enumerate() {
+        match meta.kind {
+            ColumnKind::Continuous | ColumnKind::Mixed { .. } => {
+                let a = real.column(i).as_float();
+                let b = synthetic.column(i).as_float();
+                let lo = a.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let range = (hi - lo).max(1e-12);
+                total += wasserstein_1d(a, b) / range;
+                n += 1;
+            }
+            ColumnKind::Categorical { .. } => {}
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// `ℓ²` norm of the difference between the association matrices of `real`
+/// and `synthetic` — the paper's **Diff. Corr.**
+///
+/// # Panics
+///
+/// Panics if the schemas differ.
+pub fn diff_corr(real: &Table, synthetic: &Table) -> f64 {
+    assert_eq!(real.schema(), synthetic.schema(), "schemas must match");
+    matrix_l2_diff(&associations(real), &associations(synthetic))
+}
+
+/// The paper's **Avg-client** Diff. Corr.: the mean of per-client
+/// `diff_corr` over vertically-partitioned shards.
+///
+/// # Panics
+///
+/// Panics if the shard lists differ in length or any shard pair's schemas
+/// differ.
+pub fn avg_client_diff_corr(real_parts: &[Table], synth_parts: &[Table]) -> f64 {
+    assert_eq!(real_parts.len(), synth_parts.len(), "shard count mismatch");
+    assert!(!real_parts.is_empty(), "need at least one shard");
+    let total: f64 = real_parts
+        .iter()
+        .zip(synth_parts)
+        .map(|(r, s)| diff_corr(r, s))
+        .sum();
+    total / real_parts.len() as f64
+}
+
+/// The paper's **Across-client** Diff. Corr.: the `ℓ²` norm of the
+/// difference between the real and synthetic *cross*-association matrices of
+/// two clients' shards.
+pub fn across_client_diff_corr(
+    real_a: &Table,
+    real_b: &Table,
+    synth_a: &Table,
+    synth_b: &Table,
+) -> f64 {
+    let real = cross_associations(real_a, real_b);
+    let synth = cross_associations(synth_a, synth_b);
+    matrix_l2_diff(&real, &synth)
+}
+
+/// Bundle of the three statistical-similarity metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimilarityReport {
+    /// Average JSD over categorical columns.
+    pub avg_jsd: f64,
+    /// Average (range-normalized) Wasserstein distance over continuous
+    /// columns.
+    pub avg_wd: f64,
+    /// ℓ² difference of full association matrices.
+    pub diff_corr: f64,
+}
+
+/// Computes all three similarity metrics between a real and synthetic table.
+pub fn similarity(real: &Table, synthetic: &Table) -> SimilarityReport {
+    SimilarityReport {
+        avg_jsd: average_jsd(real, synthetic),
+        avg_wd: average_wd(real, synthetic),
+        diff_corr: diff_corr(real, synthetic),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtv_data::Dataset;
+
+    #[test]
+    fn identical_tables_score_zero() {
+        let t = Dataset::Loan.generate(400, 1);
+        let r = similarity(&t, &t);
+        assert_eq!(r.avg_jsd, 0.0);
+        assert!(r.avg_wd.abs() < 1e-12);
+        assert_eq!(r.diff_corr, 0.0);
+    }
+
+    #[test]
+    fn different_seeds_score_small_but_nonzero() {
+        let a = Dataset::Loan.generate(800, 1);
+        let b = Dataset::Loan.generate(800, 2);
+        let r = similarity(&a, &b);
+        assert!(r.avg_jsd > 0.0 && r.avg_jsd < 0.1, "jsd {}", r.avg_jsd);
+        assert!(r.avg_wd > 0.0 && r.avg_wd < 0.1, "wd {}", r.avg_wd);
+        assert!(r.diff_corr > 0.0, "diff corr {}", r.diff_corr);
+    }
+
+    #[test]
+    fn unrelated_tables_score_worse_than_same_distribution() {
+        let a = Dataset::Adult.generate(600, 1);
+        let b = Dataset::Adult.generate(600, 2);
+        // Shuffle each column independently to break correlations.
+        let shuffled = {
+            let mut parts: Vec<Table> = Vec::new();
+            for (i, _) in a.schema().columns().iter().enumerate() {
+                parts.push(b.select_columns(&[i]).shuffled(i as u64 + 100));
+            }
+            let refs: Vec<&Table> = parts.iter().collect();
+            Table::hconcat(&refs)
+        };
+        let close = diff_corr(&a, &b);
+        let broken = diff_corr(&a, &shuffled);
+        assert!(broken > close, "broken {broken} should exceed close {close}");
+    }
+
+    #[test]
+    fn avg_and_across_client_metrics() {
+        let t = Dataset::Loan.generate(500, 3);
+        let n = t.n_cols();
+        let groups = vec![(0..n / 2).collect::<Vec<_>>(), (n / 2..n).collect::<Vec<_>>()];
+        let real_parts = t.vertical_split(&groups);
+        let s = Dataset::Loan.generate(500, 4);
+        let synth_parts = s.vertical_split(&groups);
+        let avg = avg_client_diff_corr(&real_parts, &synth_parts);
+        assert!(avg > 0.0);
+        let across = across_client_diff_corr(&real_parts[0], &real_parts[1], &synth_parts[0], &synth_parts[1]);
+        assert!(across >= 0.0);
+        // Identity case.
+        assert_eq!(avg_client_diff_corr(&real_parts, &real_parts), 0.0);
+        assert_eq!(
+            across_client_diff_corr(&real_parts[0], &real_parts[1], &real_parts[0], &real_parts[1]),
+            0.0
+        );
+    }
+}

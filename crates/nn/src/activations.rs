@@ -1,0 +1,79 @@
+//! Stochastic activations used by tabular GAN output heads.
+
+use crate::ctx::Ctx;
+use gtv_tensor::{Tensor, Var};
+use rand::Rng;
+
+/// Gumbel-softmax over the rows of `x` with temperature `tau` (CTGAN uses
+/// `tau = 0.2` on every categorical/one-hot output span).
+///
+/// In training mode standard Gumbel noise `-ln(-ln u)` is added before the
+/// tempered softmax, giving differentiable samples; in eval mode the noise is
+/// still applied so generated data is stochastic (matching CTGAN's sampling),
+/// but callers can use [`softmax_tempered`] for deterministic behaviour.
+pub fn gumbel_softmax(ctx: &Ctx<'_>, x: Var, tau: f32) -> Var {
+    let g = ctx.graph();
+    let (rows, cols) = g.shape(x);
+    let noise = ctx.with_rng(|rng| {
+        Tensor::from_fn(rows, cols, |_, _| {
+            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+            -(-u.ln()).ln()
+        })
+    });
+    let noise = g.leaf(noise);
+    let noisy = g.add(x, noise);
+    let scaled = g.mul_scalar(noisy, 1.0 / tau);
+    g.softmax_rows(scaled)
+}
+
+/// Softmax with temperature but without Gumbel noise.
+pub fn softmax_tempered(ctx: &Ctx<'_>, x: Var, tau: f32) -> Var {
+    let g = ctx.graph();
+    let scaled = g.mul_scalar(x, 1.0 / tau);
+    g.softmax_rows(scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtv_tensor::Graph;
+
+    #[test]
+    fn gumbel_softmax_rows_are_distributions() {
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, 7);
+        let x = g.leaf(Tensor::from_rows(&[&[0.0, 1.0, 2.0], &[5.0, -5.0, 0.0]]));
+        let y = g.value(gumbel_softmax(&ctx, x, 0.2));
+        for r in 0..2 {
+            let sum: f32 = y.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gumbel_softmax_low_temperature_is_nearly_one_hot() {
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, 1);
+        let x = g.leaf(Tensor::from_rows(&[&[10.0, 0.0, 0.0]]));
+        let y = g.value(gumbel_softmax(&ctx, x, 0.1));
+        let max = y.row_slice(0).iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > 0.95, "low-tau gumbel softmax should be peaked, got {max}");
+    }
+
+    #[test]
+    fn gumbel_respects_strong_logits_statistically() {
+        // With a big logit gap, sampled argmax should match the hot logit
+        // most of the time.
+        let mut hits = 0;
+        for seed in 0..50 {
+            let g = Graph::new();
+            let ctx = Ctx::train(&g, seed);
+            let x = g.leaf(Tensor::from_rows(&[&[4.0, 0.0]]));
+            let y = g.value(gumbel_softmax(&ctx, x, 0.5));
+            if y.at(0, 0) > y.at(0, 1) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 40, "expected argmax to follow logits, got {hits}/50");
+    }
+}

@@ -1,0 +1,57 @@
+//! Per-step forward context.
+
+use crate::param::ParamBinder;
+use gtv_tensor::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Everything a layer needs during one forward/backward step: the graph to
+/// build into, the parameter binder, the train/eval mode and a seeded RNG
+/// (dropout masks, Gumbel noise).
+pub struct Ctx<'g> {
+    g: &'g Graph,
+    binder: ParamBinder,
+    rng: RefCell<StdRng>,
+    train: bool,
+}
+
+impl fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ctx(train={}, {} params bound)", self.train, self.binder.len())
+    }
+}
+
+impl<'g> Ctx<'g> {
+    /// Creates a training-mode context.
+    pub fn train(g: &'g Graph, seed: u64) -> Self {
+        Self { g, binder: ParamBinder::new(), rng: RefCell::new(StdRng::seed_from_u64(seed)), train: true }
+    }
+
+    /// Creates an inference-mode context (dropout off, batch-norm uses
+    /// running statistics).
+    pub fn eval(g: &'g Graph, seed: u64) -> Self {
+        Self { g, binder: ParamBinder::new(), rng: RefCell::new(StdRng::seed_from_u64(seed)), train: false }
+    }
+
+    /// The graph being built.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The parameter binder for this step.
+    pub fn binder(&self) -> &ParamBinder {
+        &self.binder
+    }
+
+    /// True in training mode.
+    pub fn is_train(&self) -> bool {
+        self.train
+    }
+
+    /// Runs `f` with the step RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        f(&mut self.rng.borrow_mut())
+    }
+}

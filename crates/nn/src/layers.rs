@@ -1,0 +1,284 @@
+//! Core layers: linear, batch normalization, dropout.
+
+use crate::ctx::Ctx;
+use crate::init::Init;
+use crate::param::{Module, Param};
+use gtv_tensor::{Tensor, Var};
+use rand::Rng;
+use std::cell::RefCell;
+
+/// Fully-connected layer `y = xW + b`.
+#[derive(Debug)]
+pub struct Linear {
+    w: Param,
+    b: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with the given fan-in/fan-out using `init` for the
+    /// weights and zeros for the bias.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, init: Init, rng: &mut impl Rng) -> Self {
+        let w = Param::new(format!("{name}.w"), init.sample(in_dim, out_dim, rng));
+        let bound = 1.0 / (in_dim.max(1) as f32).sqrt();
+        let b_init = match init {
+            Init::KaimingUniform => Tensor::rand_uniform(1, out_dim, -bound, bound, rng),
+            _ => Tensor::zeros(1, out_dim),
+        };
+        let b = Param::new(format!("{name}.b"), b_init);
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the tensor layer) if `x` does not have `in_dim` columns.
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var) -> Var {
+        let g = ctx.graph();
+        let w = ctx.binder().bind(g, &self.w);
+        let b = ctx.binder().bind(g, &self.b);
+        let xw = g.matmul(x, w);
+        g.add(xw, b)
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// 1-D batch normalization over the batch dimension.
+///
+/// In training mode normalizes with batch statistics (gradients flow through
+/// them) and updates exponential running statistics; in eval mode uses the
+/// running statistics.
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    gamma: Param,
+    beta: Param,
+    running_mean: RefCell<Tensor>,
+    running_var: RefCell<Tensor>,
+    momentum: f32,
+    eps: f32,
+    dim: usize,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `dim` features.
+    pub fn new(name: &str, dim: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(1, dim)),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(1, dim)),
+            running_mean: RefCell::new(Tensor::zeros(1, dim)),
+            running_var: RefCell::new(Tensor::ones(1, dim)),
+            momentum: 0.1,
+            eps: 1e-5,
+            dim,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Copies of the exponential running `(mean, variance)` statistics.
+    pub fn running_stats(&self) -> (Tensor, Tensor) {
+        (self.running_mean.borrow().clone(), self.running_var.borrow().clone())
+    }
+
+    /// Replaces the running statistics (weight loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match the layer width.
+    pub fn set_running_stats(&self, mean: Tensor, var: Tensor) {
+        assert_eq!(mean.shape(), (1, self.dim), "running-mean shape mismatch");
+        assert_eq!(var.shape(), (1, self.dim), "running-var shape mismatch");
+        *self.running_mean.borrow_mut() = mean;
+        *self.running_var.borrow_mut() = var;
+    }
+
+    /// Applies normalization.
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var) -> Var {
+        let g = ctx.graph();
+        let gamma = ctx.binder().bind(g, &self.gamma);
+        let beta = ctx.binder().bind(g, &self.beta);
+        let (mean, var) = if ctx.is_train() {
+            let mean = g.mean_rows(x);
+            let centered = g.sub(x, mean);
+            let var = g.mean_rows(g.square(centered));
+            // Update running stats (numeric, outside the graph).
+            let m = g.value(mean);
+            let v = g.value(var);
+            {
+                let mut rm = self.running_mean.borrow_mut();
+                *rm = rm.mul_scalar(1.0 - self.momentum).add(&m.mul_scalar(self.momentum));
+                let mut rv = self.running_var.borrow_mut();
+                *rv = rv.mul_scalar(1.0 - self.momentum).add(&v.mul_scalar(self.momentum));
+            }
+            (mean, var)
+        } else {
+            let mean = g.leaf(self.running_mean.borrow().clone());
+            let var = g.leaf(self.running_var.borrow().clone());
+            (mean, var)
+        };
+        let centered = g.sub(x, mean);
+        let denom = g.sqrt(g.add_scalar(var, self.eps));
+        let norm = g.div(centered, denom);
+        let scaled = g.mul(norm, gamma);
+        g.add(scaled, beta)
+    }
+}
+
+impl Module for BatchNorm1d {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Inverted dropout: zeroes activations with probability `p` during training
+/// and rescales survivors by `1/(1-p)`; identity in eval mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout.
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var) -> Var {
+        if !ctx.is_train() || self.p == 0.0 {
+            return x;
+        }
+        let g = ctx.graph();
+        let (rows, cols) = g.shape(x);
+        let keep = 1.0 - self.p;
+        let mask = ctx.with_rng(|rng| {
+            Tensor::from_fn(rows, cols, |_, _| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+        });
+        let mask = g.leaf(mask);
+        g.mul(x, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtv_tensor::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new("l", 4, 3, Init::KaimingUniform, &mut rng);
+        assert_eq!(lin.param_count(), 4 * 3 + 3);
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, 0);
+        let x = g.leaf(Tensor::ones(5, 4));
+        let y = lin.forward(&ctx, x);
+        assert_eq!(g.shape(y), (5, 3));
+    }
+
+    #[test]
+    fn linear_computes_xw_plus_b() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new("l", 2, 2, Init::Zeros, &mut rng);
+        lin.params()[0].set_value(Tensor::eye(2));
+        lin.params()[1].set_value(Tensor::row(&[1.0, -1.0]));
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, 0);
+        let x = g.leaf(Tensor::from_rows(&[&[3.0, 4.0]]));
+        let y = lin.forward(&ctx, x);
+        assert_eq!(g.value(y), Tensor::from_rows(&[&[4.0, 3.0]]));
+    }
+
+    #[test]
+    fn batchnorm_normalizes_in_train_mode() {
+        let bn = BatchNorm1d::new("bn", 2);
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, 0);
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 50.0]]));
+        let y = g.value(bn.forward(&ctx, x));
+        // Each column should have ~zero mean and ~unit variance.
+        let mean0 = (y.at(0, 0) + y.at(1, 0) + y.at(2, 0)) / 3.0;
+        assert!(mean0.abs() < 1e-5);
+        let var0 = (0..3).map(|r| y.at(r, 0) * y.at(r, 0)).sum::<f32>() / 3.0;
+        assert!((var0 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let bn = BatchNorm1d::new("bn", 1);
+        // Train once to move running stats off their defaults.
+        {
+            let g = Graph::new();
+            let ctx = Ctx::train(&g, 0);
+            let x = g.leaf(Tensor::col(&[10.0, 20.0, 30.0]));
+            let _ = bn.forward(&ctx, x);
+        }
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, 0);
+        let x = g.leaf(Tensor::col(&[10.0, 20.0]));
+        let y = g.value(bn.forward(&ctx, x));
+        // Eval output is not batch-normalized (batch mean of y is nonzero).
+        let mean = (y.at(0, 0) + y.at(1, 0)) / 2.0;
+        assert!(mean.abs() > 0.1);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_and_train_preserves_scale() {
+        let d = Dropout::new(0.5);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, 0);
+        let x = g.leaf(Tensor::ones(4, 4));
+        assert_eq!(d.forward(&ctx, x), x);
+
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, 42);
+        let x = g.leaf(Tensor::ones(200, 50));
+        let y = g.value(d.forward(&ctx, x));
+        let mean = y.mean_all();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout should keep E[x], got {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_rejects_bad_p() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Trainable parameters and their binding into per-step graphs.
+//!
+//! Parameters live *outside* the autograd graph: a [`Param`] owns persistent
+//! value and gradient tensors, and every training step binds it into a fresh
+//! [`Graph`] as a leaf via [`ParamBinder::bind`]. After building the loss,
+//! [`ParamBinder::backprop`] computes gradients and writes them back.
+
+use gtv_tensor::{Graph, Tensor, Var};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A shared handle to a trainable tensor.
+///
+/// Cloning a `Param` clones the *handle*: all clones refer to the same
+/// underlying value and gradient.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(f, "Param({} {}x{})", inner.name, inner.value.rows(), inner.value.cols())
+    }
+}
+
+impl Param {
+    /// Creates a parameter with the given debug name and initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        Self {
+            inner: Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })),
+        }
+    }
+
+    /// Debug name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> (usize, usize) {
+        self.inner.borrow().value.shape()
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        let (r, c) = self.shape();
+        r * c
+    }
+
+    /// True if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replaces the value (used by optimizers).
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(inner.value.shape(), value.shape(), "set_value shape mismatch");
+        inner.value = value;
+    }
+
+    /// Adds `delta` to the stored gradient.
+    pub fn accumulate_grad(&self, delta: &Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = inner.grad.add(delta);
+    }
+
+    /// Resets the stored gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let (r, c) = inner.value.shape();
+        inner.grad = Tensor::zeros(r, c);
+    }
+
+    /// True when two handles refer to the same underlying parameter.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Anything that owns trainable parameters.
+pub trait Module {
+    /// Handles to every trainable parameter, in a stable order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Param::len).sum()
+    }
+}
+
+/// Records which graph leaf corresponds to which parameter during one step.
+#[derive(Default)]
+pub struct ParamBinder {
+    entries: RefCell<Vec<(Param, Var)>>,
+}
+
+impl fmt::Debug for ParamBinder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ParamBinder({} bound)", self.entries.borrow().len())
+    }
+}
+
+impl ParamBinder {
+    /// Creates an empty binder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `p` into `g` as a leaf holding its current value. Binding the
+    /// same parameter twice returns the same leaf.
+    pub fn bind(&self, g: &Graph, p: &Param) -> Var {
+        if let Some((_, v)) = self.entries.borrow().iter().find(|(q, _)| q.ptr_eq(p)) {
+            return *v;
+        }
+        let var = g.leaf(p.value());
+        self.entries.borrow_mut().push((p.clone(), var));
+        var
+    }
+
+    /// Number of distinct parameters bound so far.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// True if nothing has been bound.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the `(parameter, leaf var)` bindings, in bind order.
+    pub fn bindings(&self) -> Vec<(Param, Var)> {
+        self.entries.borrow().clone()
+    }
+
+    /// Computes gradients of `loss` w.r.t. every bound parameter *and* the
+    /// given extra vars in one backward pass. Parameter gradients are
+    /// accumulated into the parameters; the extras' gradient vars are
+    /// returned (in order). Useful when a trainer also needs the gradients
+    /// that cross a protocol boundary.
+    pub fn backprop_with_extras(&self, g: &Graph, loss: Var, extras: &[Var]) -> Vec<Var> {
+        let entries = self.entries.borrow();
+        let mut wrt: Vec<Var> = entries.iter().map(|(_, v)| *v).collect();
+        wrt.extend_from_slice(extras);
+        let grads = g.grad(loss, &wrt);
+        for ((p, _), gv) in entries.iter().zip(&grads) {
+            g.with_value(*gv, |t| p.accumulate_grad(t));
+        }
+        grads[entries.len()..].to_vec()
+    }
+
+    /// Computes `d loss / d p` for every bound parameter and accumulates the
+    /// results into the parameters' gradient buffers.
+    pub fn backprop(&self, g: &Graph, loss: Var) {
+        let entries = self.entries.borrow();
+        let vars: Vec<Var> = entries.iter().map(|(_, v)| *v).collect();
+        let grads = g.grad(loss, &vars);
+        for ((p, _), gv) in entries.iter().zip(grads) {
+            g.with_value(gv, |t| p.accumulate_grad(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_is_idempotent_per_param() {
+        let g = Graph::new();
+        let binder = ParamBinder::new();
+        let p = Param::new("w", Tensor::scalar(1.5));
+        let v1 = binder.bind(&g, &p);
+        let v2 = binder.bind(&g, &p);
+        assert_eq!(v1, v2);
+        assert_eq!(binder.len(), 1);
+    }
+
+    #[test]
+    fn backprop_writes_param_grads() {
+        let g = Graph::new();
+        let binder = ParamBinder::new();
+        let p = Param::new("w", Tensor::row(&[2.0, 3.0]));
+        let w = binder.bind(&g, &p);
+        let loss = g.sum_all(g.mul(w, w)); // d/dw = 2w
+        binder.backprop(&g, loss);
+        assert_eq!(p.grad(), Tensor::row(&[4.0, 6.0]));
+        // Accumulates on a second backward.
+        binder.backprop(&g, loss);
+        assert_eq!(p.grad(), Tensor::row(&[8.0, 12.0]));
+        p.zero_grad();
+        assert_eq!(p.grad(), Tensor::zeros(1, 2));
+    }
+
+    #[test]
+    fn param_handles_share_state() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let q = p.clone();
+        q.set_value(Tensor::scalar(9.0));
+        assert_eq!(p.value().item(), 9.0);
+        assert!(p.ptr_eq(&q));
+    }
+}

@@ -1,0 +1,508 @@
+//! Reverse-mode differentiation.
+//!
+//! [`Graph::grad`] walks the graph in reverse creation order (creation order
+//! is a topological order because the graph is eager) and *constructs new
+//! nodes* for every vector–Jacobian product. Because the backward pass is
+//! ordinary graph construction, its outputs can be differentiated again —
+//! this is what powers the WGAN-GP gradient penalty.
+
+use crate::graph::{Graph, Op, Var};
+use crate::Tensor;
+
+impl Graph {
+    /// Reduces `v` down to `(rows, cols)` by summing over broadcast axes —
+    /// the adjoint of broadcasting.
+    fn reduce_to(&self, v: Var, rows: usize, cols: usize) -> Var {
+        let (vr, vc) = self.shape(v);
+        let mut out = v;
+        if rows == 1 && vr > 1 {
+            out = self.sum_rows(out);
+        }
+        if cols == 1 && vc > 1 {
+            out = self.sum_cols(out);
+        }
+        debug_assert_eq!(self.shape(out), (rows, cols), "reduce_to produced wrong shape");
+        out
+    }
+
+    /// Accumulates `contrib` into `adj[i]`.
+    fn accumulate(&self, adj: &mut [Option<Var>], i: usize, contrib: Var) {
+        adj[i] = Some(match adj[i] {
+            Some(existing) => self.add(existing, contrib),
+            None => contrib,
+        });
+    }
+
+    /// Builds the gradients of `sum(y)` with respect to each var in `wrt`,
+    /// as **new graph nodes** (so they can be differentiated again).
+    ///
+    /// If `y` is not a scalar the result is the gradient of the sum of its
+    /// elements, which for row-independent networks yields per-row gradients.
+    /// Vars unreachable from `y` get zero gradients of their own shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gtv_tensor::{Graph, Tensor};
+    /// let g = Graph::new();
+    /// let x = g.leaf(Tensor::row(&[1.0, 2.0]));
+    /// let y = g.sum_all(g.square(x));
+    /// let dx = g.grad(y, &[x])[0];
+    /// assert_eq!(g.value(dx), Tensor::row(&[2.0, 4.0]));
+    /// ```
+    pub fn grad(&self, y: Var, wrt: &[Var]) -> Vec<Var> {
+        let y_shape = self.shape(y);
+        let limit = y.0 + 1;
+        let mut adj: Vec<Option<Var>> = vec![None; limit];
+        let seed = self.leaf(Tensor::ones(y_shape.0, y_shape.1));
+        adj[y.0] = Some(seed);
+
+        for i in (0..limit).rev() {
+            let Some(g_out) = adj[i] else { continue };
+            let op = self.nodes.borrow()[i].op.clone();
+            let out_var = Var(i);
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    let (ar, ac) = self.shape(a);
+                    let (br, bc) = self.shape(b);
+                    let ga = self.reduce_to(g_out, ar, ac);
+                    self.accumulate(&mut adj, a.0, ga);
+                    let gb = self.reduce_to(g_out, br, bc);
+                    self.accumulate(&mut adj, b.0, gb);
+                }
+                Op::Sub(a, b) => {
+                    let (ar, ac) = self.shape(a);
+                    let (br, bc) = self.shape(b);
+                    let ga = self.reduce_to(g_out, ar, ac);
+                    self.accumulate(&mut adj, a.0, ga);
+                    let neg = self.neg(g_out);
+                    let gb = self.reduce_to(neg, br, bc);
+                    self.accumulate(&mut adj, b.0, gb);
+                }
+                Op::Mul(a, b) => {
+                    let (ar, ac) = self.shape(a);
+                    let (br, bc) = self.shape(b);
+                    let gb_full = self.mul(g_out, a);
+                    let ga_full = self.mul(g_out, b);
+                    let ga = self.reduce_to(ga_full, ar, ac);
+                    self.accumulate(&mut adj, a.0, ga);
+                    let gb = self.reduce_to(gb_full, br, bc);
+                    self.accumulate(&mut adj, b.0, gb);
+                }
+                Op::Div(a, b) => {
+                    let (ar, ac) = self.shape(a);
+                    let (br, bc) = self.shape(b);
+                    // d/da (a/b) = 1/b ; d/db (a/b) = -a/b²
+                    let ga_full = self.div(g_out, b);
+                    let ga = self.reduce_to(ga_full, ar, ac);
+                    self.accumulate(&mut adj, a.0, ga);
+                    let b2 = self.mul(b, b);
+                    let t = self.div(a, b2);
+                    let t = self.mul(g_out, t);
+                    let t = self.neg(t);
+                    let gb = self.reduce_to(t, br, bc);
+                    self.accumulate(&mut adj, b.0, gb);
+                }
+                Op::Neg(x) => {
+                    let gx = self.neg(g_out);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::MatMul(a, b) => {
+                    let bt = self.transpose(b);
+                    let ga = self.matmul(g_out, bt);
+                    self.accumulate(&mut adj, a.0, ga);
+                    let at = self.transpose(a);
+                    let gb = self.matmul(at, g_out);
+                    self.accumulate(&mut adj, b.0, gb);
+                }
+                Op::Transpose(x) => {
+                    let gx = self.transpose(g_out);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::SumAll(x) => {
+                    let (r, c) = self.shape(x);
+                    let gx = self.broadcast_to(g_out, r, c);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::SumRows(x) | Op::SumCols(x) => {
+                    let (r, c) = self.shape(x);
+                    let gx = self.broadcast_to(g_out, r, c);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Broadcast(x) => {
+                    let (r, c) = self.shape(x);
+                    let gx = self.reduce_to(g_out, r, c);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::MulScalar(x, cst) => {
+                    let gx = self.mul_scalar(g_out, cst);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::AddScalar(x) => {
+                    self.accumulate(&mut adj, x.0, g_out);
+                }
+                Op::PowScalar(x, p) => {
+                    // d/dx x^p = p·x^(p-1)
+                    let xp = self.pow_scalar(x, p - 1.0);
+                    let xp = self.mul_scalar(xp, p);
+                    let gx = self.mul(g_out, xp);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Exp(x) => {
+                    let gx = self.mul(g_out, out_var);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Ln(x) => {
+                    let gx = self.div(g_out, x);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Sqrt(x) => {
+                    // d/dx √x = 1/(2√x) = 1/(2·out)
+                    let half = self.mul_scalar(g_out, 0.5);
+                    let gx = self.div(half, out_var);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Tanh(x) => {
+                    let o2 = self.mul(out_var, out_var);
+                    let one_minus = self.neg(o2);
+                    let one_minus = self.add_scalar(one_minus, 1.0);
+                    let gx = self.mul(g_out, one_minus);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Sigmoid(x) => {
+                    let one_minus = self.neg(out_var);
+                    let one_minus = self.add_scalar(one_minus, 1.0);
+                    let t = self.mul(out_var, one_minus);
+                    let gx = self.mul(g_out, t);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::Relu(x) => {
+                    // Mask is a constant w.r.t. further differentiation
+                    // (d²/dx² relu = 0 almost everywhere).
+                    let mask = self.with_value(x, |t| t.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                    let mask = self.leaf(mask);
+                    let gx = self.mul(g_out, mask);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::LeakyRelu(x, alpha) => {
+                    let mask = self.with_value(x, |t| t.map(|v| if v >= 0.0 { 1.0 } else { alpha }));
+                    let mask = self.leaf(mask);
+                    let gx = self.mul(g_out, mask);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let (_, w) = self.shape(p);
+                        let gp = self.slice_cols(g_out, offset, w);
+                        self.accumulate(&mut adj, p.0, gp);
+                        offset += w;
+                    }
+                }
+                Op::SliceCols(x, start) => {
+                    let (_, total) = self.shape(x);
+                    let gx = self.pad_cols(g_out, start, total);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::PadCols(x, start) => {
+                    let (_, w) = self.shape(x);
+                    let gx = self.slice_cols(g_out, start, w);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::SelectRows(x, idx) => {
+                    let (rows, _) = self.shape(x);
+                    let gx = self.scatter_rows(g_out, &idx, rows);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::ScatterRows(x, idx) => {
+                    let gx = self.select_rows(g_out, &idx);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
+            }
+        }
+
+        wrt.iter()
+            .map(|v| match adj.get(v.0).copied().flatten() {
+                Some(g) => g,
+                None => {
+                    let (r, c) = self.shape(*v);
+                    self.leaf(Tensor::zeros(r, c))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central finite-difference check of `grad` for a scalar-valued builder.
+    fn check_grad(build: impl Fn(&Graph, Var) -> Var, x0: Tensor, tol: f32) {
+        let g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let y = build(&g, x);
+        assert_eq!(g.shape(y), (1, 1), "builder must produce a scalar");
+        let dx = g.grad(y, &[x])[0];
+        let analytic = g.value(dx);
+
+        let eps = 1e-3f32;
+        for i in 0..x0.len() {
+            let mut plus = x0.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x0.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let gp = Graph::new();
+            let vp = gp.leaf(plus);
+            let yp = build(&gp, vp).0;
+            let fp = gp.nodes.borrow()[yp].value.item();
+            let gm = Graph::new();
+            let vm = gm.leaf(minus);
+            let ym = build(&gm, vm).0;
+            let fm = gm.nodes.borrow()[ym].value.item();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform(rows, cols, 0.2, 1.5, &mut rng)
+    }
+
+    #[test]
+    fn grad_add_mul() {
+        check_grad(
+            |g, x| {
+                let y = g.mul(x, x);
+                let z = g.add(y, x);
+                g.sum_all(z)
+            },
+            random_tensor(2, 3, 1),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_div() {
+        check_grad(
+            |g, x| {
+                let c = g.leaf(Tensor::full(2, 3, 2.0));
+                let y = g.div(c, x);
+                g.sum_all(y)
+            },
+            random_tensor(2, 3, 2),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        check_grad(
+            |g, x| {
+                let w = g.leaf(Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.3], &[1.0, 1.0]]));
+                let y = g.matmul(x, w);
+                let y = g.mul(y, y);
+                g.sum_all(y)
+            },
+            random_tensor(2, 3, 3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_broadcast_bias() {
+        check_grad(
+            |g, x| {
+                let b = g.leaf(Tensor::row(&[1.0, -2.0, 0.5]));
+                let y = g.add(x, b);
+                let y = g.mul(y, y);
+                g.sum_all(y)
+            },
+            random_tensor(4, 3, 4),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_bias_itself() {
+        // Gradient w.r.t. a broadcast row vector must sum over the batch.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(4, 3));
+        let b = g.leaf(Tensor::row(&[0.0, 0.0, 0.0]));
+        let y = g.add(x, b);
+        let s = g.sum_all(y);
+        let db = g.grad(s, &[b])[0];
+        assert_eq!(g.value(db), Tensor::row(&[4.0, 4.0, 4.0]));
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in ["tanh", "sigmoid", "exp", "ln", "sqrt", "leaky"] {
+            check_grad(
+                move |g, x| {
+                    let y = match act {
+                        "tanh" => g.tanh(x),
+                        "sigmoid" => g.sigmoid(x),
+                        "exp" => g.exp(x),
+                        "ln" => g.ln(x),
+                        "sqrt" => g.sqrt(x),
+                        _ => g.leaky_relu(x, 0.2),
+                    };
+                    g.sum_all(y)
+                },
+                random_tensor(3, 2, 5),
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_softmax() {
+        check_grad(
+            |g, x| {
+                let s = g.softmax_rows(x);
+                let w = g.leaf(Tensor::from_rows(&[&[1.0, -1.0, 2.0], &[0.5, 0.5, -0.5]]));
+                let y = g.mul(s, w);
+                g.sum_all(y)
+            },
+            random_tensor(2, 3, 6),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        check_grad(
+            |g, x| {
+                let a = g.slice_cols(x, 0, 2);
+                let b = g.slice_cols(x, 2, 1);
+                let b3 = g.concat_cols(&[b, b, b]);
+                let sum = g.add(a, g.slice_cols(b3, 0, 2));
+                let y = g.mul(sum, sum);
+                g.sum_all(y)
+            },
+            random_tensor(3, 3, 7),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_accumulates_over_multiple_uses() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(3.0));
+        let y = g.add(x, x); // y = 2x
+        let z = g.mul(y, x); // z = 2x²; dz/dx = 4x = 12
+        let dx = g.grad(z, &[x])[0];
+        assert_eq!(g.value(dx).item(), 12.0);
+    }
+
+    #[test]
+    fn second_order_polynomial() {
+        // y = x⁴ ; y' = 4x³ ; y'' = 12x²
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let x2 = g.mul(x, x);
+        let y = g.mul(x2, x2);
+        let dy = g.grad(y, &[x])[0];
+        assert_eq!(g.value(dy).item(), 32.0);
+        let d2y = g.grad(dy, &[x])[0];
+        assert_eq!(g.value(d2y).item(), 48.0);
+    }
+
+    #[test]
+    fn second_order_through_matmul_chain() {
+        // Gradient-penalty shape: f(w) = (‖∇_x (x W)·v‖ - 1)², check df/dW
+        // numerically via a double-backward construction.
+        let mut rng = StdRng::seed_from_u64(11);
+        let w0 = Tensor::randn(3, 2, &mut rng);
+        let x0 = Tensor::randn(4, 3, &mut rng);
+
+        let f = |w_t: &Tensor| -> f32 {
+            let g = Graph::new();
+            let w = g.leaf(w_t.clone());
+            let x = g.leaf(x0.clone());
+            let out = g.matmul(x, w); // (4,2)
+            let act = g.tanh(out);
+            let s = g.sum_all(act);
+            let gx = g.grad(s, &[x])[0]; // (4,3) — depends on w
+            let norm = g.l2_norm_rows(gx, 1e-12); // (4,1)
+            let shifted = g.add_scalar(norm, -1.0);
+            let pen = g.mul(shifted, shifted);
+            let y = g.mean_all(pen);
+            g.value(y).item()
+        };
+
+        // Analytic dGP/dW via double backward.
+        let g = Graph::new();
+        let w = g.leaf(w0.clone());
+        let x = g.leaf(x0.clone());
+        let out = g.matmul(x, w);
+        let act = g.tanh(out);
+        let s = g.sum_all(act);
+        let gx = g.grad(s, &[x])[0];
+        let norm = g.l2_norm_rows(gx, 1e-12);
+        let shifted = g.add_scalar(norm, -1.0);
+        let pen = g.mul(shifted, shifted);
+        let y = g.mean_all(pen);
+        let dw = g.grad(y, &[w])[0];
+        let analytic = g.value(dw);
+
+        let eps = 1e-2f32;
+        for i in 0..w0.len() {
+            let mut plus = w0.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = w0.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (a - numeric).abs() <= 2e-2 * (1.0 + numeric.abs()),
+                "double-backward mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_select_rows_scatter_adds() {
+        // y = sum(select_rows(x, [0, 0, 2])) ⇒ dx row 0 gets 2, row 2 gets 1.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]));
+        let s = g.select_rows(x, &[0, 0, 2]);
+        let y = g.sum_all(s);
+        let dx = g.grad(y, &[x])[0];
+        assert_eq!(
+            g.value(dx),
+            Tensor::from_rows(&[&[2.0, 2.0], &[0.0, 0.0], &[1.0, 1.0]])
+        );
+    }
+
+    #[test]
+    fn grad_scatter_rows_selects() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let s = g.scatter_rows(x, &[2, 0], 4);
+        assert_eq!(g.value(s), Tensor::from_rows(&[&[2.0], &[0.0], &[1.0], &[0.0]]));
+        let w = g.leaf(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]));
+        let y = g.sum_all(g.mul(s, w));
+        let dx = g.grad(y, &[x])[0];
+        assert_eq!(g.value(dx), Tensor::from_rows(&[&[3.0], &[1.0]]));
+    }
+
+    #[test]
+    fn unreachable_var_gets_zero_grad() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(1.0));
+        let z = g.leaf(Tensor::row(&[1.0, 2.0]));
+        let y = g.mul(x, x);
+        let gz = g.grad(y, &[z])[0];
+        assert_eq!(g.value(gz), Tensor::zeros(1, 2));
+    }
+}

@@ -1,0 +1,428 @@
+//! Eager, define-by-run autograd graph.
+//!
+//! A [`Graph`] is an arena of nodes. Every operation evaluates immediately
+//! (the value is available as soon as the node is created) *and* records how
+//! it was produced, so [`Graph::grad`] can later build the backward pass.
+//! Crucially, the backward pass is itself expressed as new graph nodes, which
+//! makes **higher-order differentiation** work: differentiating a gradient
+//! (needed for the WGAN-GP gradient penalty) is just another `grad` call.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtv_tensor::{Graph, Tensor};
+//!
+//! let g = Graph::new();
+//! let x = g.leaf(Tensor::scalar(3.0));
+//! let y = g.mul(x, x); // y = x²
+//! let dy = g.grad(y, &[x])[0]; // dy/dx = 2x
+//! assert_eq!(g.value(dy).item(), 6.0);
+//! let d2y = g.grad(dy, &[x])[0]; // d²y/dx² = 2
+//! assert_eq!(g.value(d2y).item(), 2.0);
+//! ```
+
+use crate::Tensor;
+use std::cell::RefCell;
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var` is a plain index; it is only meaningful together with the graph that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The operation that produced a node. Used to build backward passes.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Input node: parameter, constant, or detached value.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    MatMul(Var, Var),
+    Transpose(Var),
+    SumAll(Var),
+    SumRows(Var),
+    SumCols(Var),
+    /// Broadcast input up to this node's shape.
+    Broadcast(Var),
+    MulScalar(Var, f32),
+    AddScalar(Var),
+    PowScalar(Var, f32),
+    Exp(Var),
+    Ln(Var),
+    Sqrt(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    /// `max(x, 0)`; gradient mask is treated as a constant (correct a.e.).
+    Relu(Var),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f32),
+    ConcatCols(Vec<Var>),
+    /// Columns `start .. start+width` of the input (width = this node's cols).
+    SliceCols(Var, usize),
+    /// Input embedded at column `start` of a zero tensor with `total` cols.
+    PadCols(Var, usize),
+    /// Gather of the given input rows (rows may repeat).
+    SelectRows(Var, std::rc::Rc<Vec<usize>>),
+    /// Scatter-add of the input's rows into a zero tensor with `total_rows`
+    /// rows at the given positions (adjoint of `SelectRows`).
+    ScatterRows(Var, std::rc::Rc<Vec<usize>>),
+}
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) op: Op,
+}
+
+/// Arena holding an eager computation graph.
+///
+/// Create one `Graph` per training step, bind parameters as leaves, build the
+/// loss, call [`Graph::grad`], read gradients, drop the graph.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.len())
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True if no node has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var(nodes.len() - 1)
+    }
+
+    /// Creates an input node holding `value`. Gradients can flow *to* leaves
+    /// but not through them.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Creates a leaf holding a copy of `v`'s current value — the value flows
+    /// forward but gradients are cut (PyTorch `detach`).
+    pub fn detach(&self, v: Var) -> Var {
+        let value = self.value(v);
+        self.leaf(value)
+    }
+
+    /// Clones the value of a node.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Runs `f` with a borrow of the node's value (avoids a clone).
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[v.0].value)
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.0].value.shape()
+    }
+
+    fn unary(&self, x: Var, f: impl FnOnce(&Tensor) -> Tensor, op: Op) -> Var {
+        let value = f(&self.nodes.borrow()[x.0].value);
+        self.push(value, op)
+    }
+
+    fn binary(&self, a: Var, b: Var, f: impl FnOnce(&Tensor, &Tensor) -> Tensor, op: Op) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            f(&nodes[a.0].value, &nodes[b.0].value)
+        };
+        self.push(value, op)
+    }
+
+    /// Broadcasting addition.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.add(y), Op::Add(a, b))
+    }
+
+    /// Broadcasting subtraction.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.sub(y), Op::Sub(a, b))
+    }
+
+    /// Broadcasting elementwise product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.mul(y), Op::Mul(a, b))
+    }
+
+    /// Broadcasting elementwise division.
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.div(y), Op::Div(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, x: Var) -> Var {
+        self.unary(x, |t| t.mul_scalar(-1.0), Op::Neg(x))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.matmul(y), Op::MatMul(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&self, x: Var) -> Var {
+        self.unary(x, |t| t.transpose(), Op::Transpose(x))
+    }
+
+    /// Sum of all elements (`1×1`).
+    pub fn sum_all(&self, x: Var) -> Var {
+        self.unary(x, |t| t.sum_all(), Op::SumAll(x))
+    }
+
+    /// Column sums (`n×m → 1×m`).
+    pub fn sum_rows(&self, x: Var) -> Var {
+        self.unary(x, |t| t.sum_rows(), Op::SumRows(x))
+    }
+
+    /// Row sums (`n×m → n×1`).
+    pub fn sum_cols(&self, x: Var) -> Var {
+        self.unary(x, |t| t.sum_cols(), Op::SumCols(x))
+    }
+
+    /// Mean of all elements (`1×1`).
+    pub fn mean_all(&self, x: Var) -> Var {
+        let n = {
+            let nodes = self.nodes.borrow();
+            nodes[x.0].value.len() as f32
+        };
+        let s = self.sum_all(x);
+        self.mul_scalar(s, 1.0 / n)
+    }
+
+    /// Per-column means (`n×m → 1×m`).
+    pub fn mean_rows(&self, x: Var) -> Var {
+        let n = self.shape(x).0 as f32;
+        let s = self.sum_rows(x);
+        self.mul_scalar(s, 1.0 / n)
+    }
+
+    /// Broadcasts `x` up to `rows×cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape cannot be broadcast.
+    pub fn broadcast_to(&self, x: Var, rows: usize, cols: usize) -> Var {
+        if self.shape(x) == (rows, cols) {
+            return x;
+        }
+        self.unary(x, |t| t.broadcast_to(rows, cols), Op::Broadcast(x))
+    }
+
+    /// Multiplies by a compile-time scalar constant.
+    pub fn mul_scalar(&self, x: Var, c: f32) -> Var {
+        self.unary(x, |t| t.mul_scalar(c), Op::MulScalar(x, c))
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&self, x: Var, c: f32) -> Var {
+        self.unary(x, |t| t.add_scalar(c), Op::AddScalar(x))
+    }
+
+    /// Elementwise power with constant exponent.
+    pub fn pow_scalar(&self, x: Var, p: f32) -> Var {
+        self.unary(x, |t| t.map(|v| v.powf(p)), Op::PowScalar(x, p))
+    }
+
+    /// Elementwise square (`pow_scalar(x, 2)` specialisation).
+    pub fn square(&self, x: Var) -> Var {
+        self.mul(x, x)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, x: Var) -> Var {
+        self.unary(x, |t| t.map(f32::exp), Op::Exp(x))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self, x: Var) -> Var {
+        self.unary(x, |t| t.map(f32::ln), Op::Ln(x))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self, x: Var) -> Var {
+        self.unary(x, |t| t.map(f32::sqrt), Op::Sqrt(x))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self, x: Var) -> Var {
+        self.unary(x, |t| t.map(f32::tanh), Op::Tanh(x))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self, x: Var) -> Var {
+        self.unary(x, |t| t.map(|v| 1.0 / (1.0 + (-v).exp())), Op::Sigmoid(x))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self, x: Var) -> Var {
+        self.unary(x, |t| t.map(|v| v.max(0.0)), Op::Relu(x))
+    }
+
+    /// Elementwise leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, x: Var, alpha: f32) -> Var {
+        self.unary(
+            x,
+            |t| t.map(|v| if v >= 0.0 { v } else { alpha * v }),
+            Op::LeakyRelu(x, alpha),
+        )
+    }
+
+    /// Horizontal concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let value = {
+            let nodes = self.nodes.borrow();
+            let tensors: Vec<&Tensor> = parts.iter().map(|v| &nodes[v.0].value).collect();
+            Tensor::concat_cols(&tensors)
+        };
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Columns `start .. start+width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the input's columns.
+    pub fn slice_cols(&self, x: Var, start: usize, width: usize) -> Var {
+        self.unary(x, |t| t.slice_cols(start, width), Op::SliceCols(x, start))
+    }
+
+    /// Embeds `x` at column `start` of an otherwise-zero tensor with
+    /// `total_cols` columns.
+    pub fn pad_cols(&self, x: Var, start: usize, total_cols: usize) -> Var {
+        self.unary(x, |t| t.pad_cols(start, total_cols), Op::PadCols(x, start))
+    }
+
+    /// Gathers the given rows of `x` (indices may repeat). Gradients
+    /// scatter-add back to the source rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn select_rows(&self, x: Var, indices: &[usize]) -> Var {
+        let idx = std::rc::Rc::new(indices.to_vec());
+        self.unary(x, |t| t.select_rows(indices), Op::SelectRows(x, idx))
+    }
+
+    /// Scatter-adds the rows of `x` into a `total_rows`-row zero tensor at
+    /// the given positions (duplicate positions accumulate). Adjoint of
+    /// [`Graph::select_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len()` differs from `x`'s row count or a position
+    /// is out of bounds.
+    pub fn scatter_rows(&self, x: Var, indices: &[usize], total_rows: usize) -> Var {
+        let idx = std::rc::Rc::new(indices.to_vec());
+        self.unary(
+            x,
+            |t| {
+                assert_eq!(t.rows(), indices.len(), "scatter_rows index count mismatch");
+                let mut out = Tensor::zeros(total_rows, t.cols());
+                for (r, &dst) in indices.iter().enumerate() {
+                    assert!(dst < total_rows, "scatter position {dst} out of bounds");
+                    let src = t.row_slice(r).to_vec();
+                    for (c, v) in src.iter().enumerate() {
+                        let cur = out.at(dst, c);
+                        out.set(dst, c, cur + v);
+                    }
+                }
+                out
+            },
+            Op::ScatterRows(x, idx),
+        )
+    }
+
+    /// Row-wise softmax, computed stably by subtracting the (detached) row
+    /// maximum. Differentiable (including twice) through its primitive
+    /// decomposition.
+    pub fn softmax_rows(&self, x: Var) -> Var {
+        let (rows, _cols) = self.shape(x);
+        let rowmax = self.with_value(x, |t| {
+            let mut m = Tensor::zeros(rows, 1);
+            for r in 0..rows {
+                let mx = t.row_slice(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                m.set(r, 0, mx);
+            }
+            m
+        });
+        let mx = self.leaf(rowmax);
+        let shifted = self.sub(x, mx);
+        let e = self.exp(shifted);
+        let denom = self.sum_cols(e);
+        self.div(e, denom)
+    }
+
+    /// Row-wise L2 norm with numerical floor `eps`: `sqrt(Σ_cols x² + eps)`.
+    pub fn l2_norm_rows(&self, x: Var, eps: f32) -> Var {
+        let sq = self.square(x);
+        let s = self.sum_cols(sq);
+        let s = self.add_scalar(s, eps);
+        self.sqrt(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_values_available_immediately() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = g.leaf(Tensor::from_rows(&[&[3.0, 4.0]]));
+        let c = g.add(a, b);
+        assert_eq!(g.value(c), Tensor::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]));
+        let s = g.softmax_rows(x);
+        let sums = g.value(g.sum_cols(s));
+        assert!((sums.at(0, 0) - 1.0).abs() < 1e-6);
+        assert!((sums.at(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detach_cuts_gradients() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let d = g.detach(x);
+        let y = g.mul(x, d); // dy/dx should be d = 2, not 2x = 4
+        let dx = g.grad(y, &[x])[0];
+        assert_eq!(g.value(dx).item(), 2.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gtv-tensor
+//!
+//! Dense 2-D `f32` tensor and an eager define-by-run autograd engine with
+//! **higher-order gradients**, built for the GTV (tabular GAN via vertical
+//! federated learning) reproduction.
+//!
+//! Two layers:
+//!
+//! * [`Tensor`] — plain numeric matrix with broadcasting, matmul, reductions
+//!   and the slicing/concatenation primitives vertical federated learning
+//!   needs.
+//! * [`Graph`] / [`Var`] — an arena-based computation graph. Every op
+//!   evaluates eagerly; [`Graph::grad`] *constructs the backward pass as new
+//!   graph nodes*, so gradients are themselves differentiable. That property
+//!   is what makes the WGAN-GP gradient penalty (a second-order construct)
+//!   expressible without any special casing.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtv_tensor::{Graph, Tensor};
+//!
+//! // d²/dx² of x³ at x = 2 is 6x = 12.
+//! let g = Graph::new();
+//! let x = g.leaf(Tensor::scalar(2.0));
+//! let x2 = g.mul(x, x);
+//! let y = g.mul(x2, x);
+//! let dy = g.grad(y, &[x])[0];
+//! let d2y = g.grad(dy, &[x])[0];
+//! assert_eq!(g.value(d2y).item(), 12.0);
+//! ```
+
+mod backward;
+mod graph;
+mod tensor;
+
+pub use graph::{Graph, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,664 @@
+//! Dense, row-major, two-dimensional `f32` tensor.
+//!
+//! Everything in the GTV stack is batched 2-D data (`rows` = batch,
+//! `cols` = features), so the tensor type is deliberately specialized to two
+//! dimensions: scalars are `1×1`, row vectors `1×n`, column vectors `n×1`.
+//! Broadcasting follows NumPy semantics restricted to those shapes.
+
+use rand::Rng;
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use gtv_tensor::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c, a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})[", self.rows, self.cols)?;
+        let n = self.data.len().min(8);
+        for (i, v) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from a raw row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a tensor from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows in from_rows");
+            data.extend_from_slice(r);
+        }
+        Self::from_vec(rows.len(), cols, data)
+    }
+
+    /// A `1×1` tensor holding `v`.
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    /// A `1×n` row vector.
+    pub fn row(v: &[f32]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// An `n×1` column vector.
+    pub fn col(v: &[f32]) -> Self {
+        Self::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::from_vec(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::from_vec(rows, cols, vec![1.0; rows * cols])
+    }
+
+    /// Tensor filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self::from_vec(rows, cols, vec![v; rows * cols])
+    }
+
+    /// Identity matrix of size `n×n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Standard-normal samples in the given shape (Box–Muller).
+    pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        Self::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `1×1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1×1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor, got {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    fn broadcast_index(&self, r: usize, c: usize) -> f32 {
+        let rr = if self.rows == 1 { 0 } else { r };
+        let cc = if self.cols == 1 { 0 } else { c };
+        self.data[rr * self.cols + cc]
+    }
+
+    /// Output shape of broadcasting `self` with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible (each dimension must
+    /// be equal or one of them `1`).
+    pub fn broadcast_shape(&self, other: &Self) -> (usize, usize) {
+        let rows = match (self.rows, other.rows) {
+            (a, b) if a == b => a,
+            (1, b) => b,
+            (a, 1) => a,
+            (a, b) => panic!("cannot broadcast rows {a} with {b}"),
+        };
+        let cols = match (self.cols, other.cols) {
+            (a, b) if a == b => a,
+            (1, b) => b,
+            (a, 1) => a,
+            (a, b) => panic!("cannot broadcast cols {a} with {b}"),
+        };
+        (rows, cols)
+    }
+
+    /// Broadcasting elementwise combine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        let (rows, cols) = self.broadcast_shape(other);
+        // Fast path: identical shapes.
+        if self.shape() == other.shape() {
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Self::from_vec(rows, cols, data);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(self.broadcast_index(r, c), other.broadcast_index(r, c)));
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Broadcasting addition.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Broadcasting subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Broadcasting elementwise multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Broadcasting elementwise division.
+    pub fn div(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Adds `v` to every element.
+    pub fn add_scalar(&self, v: f32) -> Self {
+        self.map(|a| a + v)
+    }
+
+    /// Multiplies every element by `v`.
+    pub fn mul_scalar(&self, v: f32) -> Self {
+        self.map(|a| a * v)
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * m..(i + 1) * m];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * m..(p + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self::from_vec(n, m, out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut data = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Self::from_vec(self.cols, self.rows, data)
+    }
+
+    /// Sum of all elements as a `1×1` tensor.
+    pub fn sum_all(&self) -> Self {
+        Self::scalar(self.data.iter().sum())
+    }
+
+    /// Column sums: `(n×m) → (1×m)`.
+    #[allow(clippy::needless_range_loop)] // indexed accumulation is the clear form
+    pub fn sum_rows(&self) -> Self {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.data[r * self.cols + c];
+            }
+        }
+        Self::from_vec(1, self.cols, out)
+    }
+
+    /// Row sums: `(n×m) → (n×1)`.
+    pub fn sum_cols(&self) -> Self {
+        let out = (0..self.rows)
+            .map(|r| self.row_slice(r).iter().sum())
+            .collect();
+        Self::from_vec(self.rows, 1, out)
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Broadcasts to the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current shape cannot be expanded (each dimension must
+    /// already match or be `1`).
+    pub fn broadcast_to(&self, rows: usize, cols: usize) -> Self {
+        assert!(
+            (self.rows == rows || self.rows == 1) && (self.cols == cols || self.cols == 1),
+            "cannot broadcast {}x{} to {rows}x{cols}",
+            self.rows,
+            self.cols
+        );
+        if self.shape() == (rows, cols) {
+            return self.clone();
+        }
+        Self::from_fn(rows, cols, |r, c| self.broadcast_index(r, c))
+    }
+
+    /// Horizontal concatenation of tensors with equal row counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Self]) -> Self {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for p in parts {
+                assert_eq!(p.rows, rows, "concat_cols: row count mismatch");
+                data.extend_from_slice(p.row_slice(r));
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Vertical concatenation of tensors with equal column counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[&Self]) -> Self {
+        assert!(!parts.is_empty(), "concat_rows requires at least one part");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows: column count mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Copies columns `start..start + width` into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Self {
+        assert!(start + width <= self.cols, "slice_cols {start}..{} out of {} cols", start + width, self.cols);
+        let mut data = Vec::with_capacity(self.rows * width);
+        for r in 0..self.rows {
+            let base = r * self.cols + start;
+            data.extend_from_slice(&self.data[base..base + width]);
+        }
+        Self::from_vec(self.rows, width, data)
+    }
+
+    /// Embeds `self` into an all-zeros `rows×total_cols` tensor starting at
+    /// column `start` (adjoint of [`Tensor::slice_cols`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not fit.
+    pub fn pad_cols(&self, start: usize, total_cols: usize) -> Self {
+        assert!(start + self.cols <= total_cols, "pad_cols: slice does not fit");
+        let mut out = Self::zeros(self.rows, total_cols);
+        for r in 0..self.rows {
+            let dst = r * total_cols + start;
+            out.data[dst..dst + self.cols].copy_from_slice(self.row_slice(r));
+        }
+        out
+    }
+
+    /// Gathers the given rows into a new tensor (rows may repeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+            data.extend_from_slice(self.row_slice(i));
+        }
+        Self::from_vec(indices.len(), self.cols, data)
+    }
+
+    /// Index of the maximum entry in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row_slice(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element difference between two equal-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.row_slice(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(4, 4, &mut rng);
+        assert!(a.matmul(&Tensor::eye(4)).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(3, 5, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcasting_row_and_col() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = Tensor::row(&[10.0, 20.0]);
+        let c = Tensor::col(&[100.0, 200.0]);
+        assert_eq!(a.add(&r), Tensor::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(a.add(&c), Tensor::from_rows(&[&[101.0, 102.0], &[203.0, 204.0]]));
+        let s = Tensor::scalar(1.0);
+        assert_eq!(a.add(&s), a.add_scalar(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast rows")]
+    fn broadcasting_rejects_incompatible() {
+        let a = Tensor::zeros(2, 2);
+        let b = Tensor::zeros(3, 2);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum_all().item(), 10.0);
+        assert_eq!(a.sum_rows(), Tensor::row(&[4.0, 6.0]));
+        assert_eq!(a.sum_cols(), Tensor::col(&[3.0, 7.0]));
+        assert_eq!(a.mean_all(), 2.5);
+    }
+
+    #[test]
+    fn concat_slice_pad_roundtrip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0], &[6.0]]);
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(cat.shape(), (2, 3));
+        assert_eq!(cat.slice_cols(0, 2), a);
+        assert_eq!(cat.slice_cols(2, 1), b);
+        let padded = b.pad_cols(2, 3);
+        assert_eq!(padded.at(0, 2), 5.0);
+        assert_eq!(padded.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let cat = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(cat.shape(), (3, 2));
+        assert_eq!(cat.row_slice(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers_and_repeats() {
+        let a = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let s = a.select_rows(&[2, 0, 2]);
+        assert_eq!(s, Tensor::from_rows(&[&[3.0], &[1.0], &[3.0]]));
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let a = Tensor::from_rows(&[&[0.1, 0.9, 0.5], &[2.0, 1.0, 2.0]]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(200, 50, &mut rng);
+        let mean = t.mean_all();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean_all();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn broadcast_to_expands() {
+        let r = Tensor::row(&[1.0, 2.0]);
+        let e = r.broadcast_to(3, 2);
+        assert_eq!(e.shape(), (3, 2));
+        assert_eq!(e.row_slice(2), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Additional autograd coverage: less-common ops, higher-order chains and
+//! graph-shape behaviours not covered by the inline unit tests.
+
+use gtv_tensor::{Graph, Tensor};
+
+#[test]
+fn pow_scalar_gradient() {
+    // y = Σ x^3 ⇒ dy/dx = 3x².
+    let g = Graph::new();
+    let x = g.leaf(Tensor::row(&[1.0, 2.0, 3.0]));
+    let y = g.sum_all(g.pow_scalar(x, 3.0));
+    let dx = g.grad(y, &[x])[0];
+    assert!(g.value(dx).max_abs_diff(&Tensor::row(&[3.0, 12.0, 27.0])) < 1e-4);
+}
+
+#[test]
+fn mean_rows_gradient_is_uniform() {
+    let g = Graph::new();
+    let x = g.leaf(Tensor::ones(4, 3));
+    let y = g.sum_all(g.mean_rows(x));
+    let dx = g.grad(y, &[x])[0];
+    assert!(g.value(dx).max_abs_diff(&Tensor::full(4, 3, 0.25)) < 1e-6);
+}
+
+#[test]
+fn column_vector_broadcast_gradient() {
+    // x (3×2) * c (3×1): dc must sum over the broadcast columns.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+    let c = g.leaf(Tensor::col(&[1.0, 1.0, 1.0]));
+    let y = g.sum_all(g.mul(x, c));
+    let dc = g.grad(y, &[c])[0];
+    assert_eq!(g.value(dc), Tensor::col(&[3.0, 7.0, 11.0]));
+}
+
+#[test]
+fn third_order_derivative() {
+    // y = x⁵: y' = 5x⁴, y'' = 20x³, y''' = 60x² — three grad calls chain.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::scalar(2.0));
+    let x2 = g.mul(x, x);
+    let x4 = g.mul(x2, x2);
+    let y = g.mul(x4, x);
+    let d1 = g.grad(y, &[x])[0];
+    let d2 = g.grad(d1, &[x])[0];
+    let d3 = g.grad(d2, &[x])[0];
+    assert_eq!(g.value(d1).item(), 80.0);
+    assert_eq!(g.value(d2).item(), 160.0);
+    assert_eq!(g.value(d3).item(), 240.0);
+}
+
+#[test]
+fn higher_order_through_division() {
+    // y = 1/x: y' = -1/x², y'' = 2/x³ at x = 2 → -0.25, 0.25.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::scalar(2.0));
+    let one = g.leaf(Tensor::scalar(1.0));
+    let y = g.div(one, x);
+    let d1 = g.grad(y, &[x])[0];
+    let d2 = g.grad(d1, &[x])[0];
+    assert!((g.value(d1).item() + 0.25).abs() < 1e-6);
+    assert!((g.value(d2).item() - 0.25).abs() < 1e-6);
+}
+
+#[test]
+fn relu_second_derivative_is_zero() {
+    // d²/dx² of relu(x)² = 2 for x > 0 through the product rule, but the
+    // relu mask itself contributes no curvature: d²/dx² relu(x) = 0 a.e.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::scalar(3.0));
+    let y = g.relu(x);
+    let d1 = g.grad(y, &[x])[0];
+    let d2 = g.grad(d1, &[x])[0];
+    assert_eq!(g.value(d1).item(), 1.0);
+    assert_eq!(g.value(d2).item(), 0.0);
+}
+
+#[test]
+fn grad_of_l2_norm_rows_is_unit_direction() {
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_rows(&[&[3.0, 4.0]]));
+    let n = g.l2_norm_rows(x, 0.0); // = 5
+    assert_eq!(g.value(n).item(), 5.0);
+    let dx = g.grad(n, &[x])[0];
+    assert!(g.value(dx).max_abs_diff(&Tensor::row(&[0.6, 0.8])) < 1e-5);
+}
+
+#[test]
+fn graph_len_tracks_node_creation() {
+    let g = Graph::new();
+    assert!(g.is_empty());
+    let a = g.leaf(Tensor::scalar(1.0));
+    let b = g.leaf(Tensor::scalar(2.0));
+    let _ = g.add(a, b);
+    assert_eq!(g.len(), 3);
+    // grad construction appends nodes rather than mutating.
+    let y = g.mul(a, b);
+    let before = g.len();
+    let _ = g.grad(y, &[a, b]);
+    assert!(g.len() > before);
+}
+
+#[test]
+fn select_then_scatter_roundtrip_values() {
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+    let sel = g.select_rows(x, &[2, 1, 0]);
+    let back = g.scatter_rows(sel, &[2, 1, 0], 3);
+    assert_eq!(g.value(back), g.value(x));
+}
+
+#[test]
+fn detached_gradient_penalty_path_has_no_generator_grads() {
+    // Mirrors the trainer: fake data detached before D ⇒ zero grads for the
+    // "generator" parameter.
+    let g = Graph::new();
+    let w_g = g.leaf(Tensor::scalar(1.5)); // generator param
+    let w_d = g.leaf(Tensor::scalar(0.5)); // discriminator param
+    let fake = g.mul(w_g, w_g);
+    let fake_detached = g.detach(fake);
+    let score = g.mul(fake_detached, w_d);
+    let grads = g.grad(score, &[w_g, w_d]);
+    assert_eq!(g.value(grads[0]).item(), 0.0);
+    assert_eq!(g.value(grads[1]).item(), 2.25);
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for tensor algebra and autograd invariants.
+
+use gtv_tensor::{Graph, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in tensor_strategy(3, 4), b in tensor_strategy(3, 4)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates_approx(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(2, 3),
+        c in tensor_strategy(2, 3)
+    ) {
+        let left = a.add(&b).add(&c);
+        let right = a.add(&b.add(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(3, 2),
+        c in tensor_strategy(3, 2)
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-2);
+    }
+
+    #[test]
+    fn transpose_swaps_matmul(a in tensor_strategy(2, 3), b in tensor_strategy(3, 4)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(a in tensor_strategy(3, 5), split in 1usize..5) {
+        let left = a.slice_cols(0, split);
+        let right = a.slice_cols(split, 5 - split);
+        let back = Tensor::concat_cols(&[&left, &right]);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn pad_then_slice_is_identity(a in tensor_strategy(2, 3), start in 0usize..4) {
+        let padded = a.pad_cols(start, 3 + start + 2);
+        prop_assert_eq!(padded.slice_cols(start, 3), a);
+    }
+
+    #[test]
+    fn sum_all_equals_sum_of_row_sums(a in tensor_strategy(4, 3)) {
+        let direct = a.sum_all().item();
+        let via_rows = a.sum_rows().sum_all().item();
+        prop_assert!((direct - via_rows).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grad_of_linear_fn_is_constant_coeff(a in tensor_strategy(1, 4)) {
+        // y = Σ cᵢ·xᵢ  ⇒  ∇y = c, independent of x.
+        let coeffs = Tensor::row(&[2.0, -1.0, 0.5, 3.0]);
+        let g = Graph::new();
+        let x = g.leaf(a);
+        let c = g.leaf(coeffs.clone());
+        let y = g.sum_all(g.mul(x, c));
+        let dx = g.grad(y, &[x])[0];
+        prop_assert!(g.value(dx).max_abs_diff(&coeffs) < 1e-5);
+    }
+
+    #[test]
+    fn grad_sum_matches_ones(a in tensor_strategy(3, 3)) {
+        let g = Graph::new();
+        let x = g.leaf(a);
+        let y = g.sum_all(x);
+        let dx = g.grad(y, &[x])[0];
+        prop_assert_eq!(g.value(dx), Tensor::ones(3, 3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(3, 4)) {
+        let g = Graph::new();
+        let x = g.leaf(a);
+        let s = g.value(g.softmax_rows(x));
+        for r in 0..3 {
+            let row = s.row_slice(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # gtv-vfl
+//!
+//! The vertical-federated-learning substrate GTV runs on:
+//!
+//! * [`wire`](crate::Message) — a byte-exact encoding of every protocol
+//!   message, so communication volume is measured from real serialization;
+//! * [`Network`] — in-process transport with per-link byte metering and
+//!   party inboxes (server, clients, public board);
+//! * [`psi_align`] — hashed private-set-intersection row alignment;
+//! * [`negotiate_seed`] / [`SharedShuffler`] — the peer-to-peer shuffle-seed
+//!   agreement behind *training-with-shuffling* (the server never observes
+//!   the seed);
+//! * [`PartitionPlan`] / [`ratio_vector`] / [`split_widths`] — column
+//!   distribution across clients and the proportional width splitting of
+//!   network blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtv_vfl::{negotiate_seed, Network, SharedShuffler};
+//!
+//! let net = Network::new(2);
+//! let seeds = negotiate_seed(&net, 2, 42);
+//! assert_eq!(seeds[0], seeds[1]);
+//! let shuffler = SharedShuffler::new(seeds[0]);
+//! let p = shuffler.permutation(10, 0);
+//! assert_eq!(p.len(), 10);
+//! // The server saw none of the seed traffic.
+//! assert_eq!(net.stats().server_bytes(), 0);
+//! ```
+
+mod partition;
+mod psi;
+mod shuffle;
+mod transport;
+mod wire;
+
+pub use partition::{ratio_vector, split_widths, PartitionPlan};
+pub use psi::{psi_align, PsiAlignment};
+pub use shuffle::{negotiate_seed, round_seed, SharedShuffler};
+pub use transport::{Fault, NetStats, Network, PartyId, RecvMessageError};
+pub use wire::{DecodeMessageError, MatrixPayload, Message};

@@ -1,0 +1,297 @@
+//! In-process transport with per-link byte accounting.
+//!
+//! Every protocol exchange is *actually encoded to bytes*, metered, decoded
+//! and delivered to the recipient's inbox, so communication-overhead numbers
+//! come from the same code path as the training itself. Inboxes are
+//! crossbeam channels, usable both from a single-threaded orchestrator and
+//! from parties running on their own threads.
+
+use crate::wire::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A protocol participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PartyId {
+    /// The trusted third-party server.
+    Server,
+    /// Client `i`.
+    Client(usize),
+    /// The public bulletin board (synthetic-data publication).
+    Public,
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartyId::Server => write!(f, "server"),
+            PartyId::Client(i) => write!(f, "client{i}"),
+            PartyId::Public => write!(f, "public"),
+        }
+    }
+}
+
+/// Cumulative traffic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bytes sent.
+    pub bytes: u64,
+    /// Per-(from, to) message and byte counts.
+    pub per_link: HashMap<(PartyId, PartyId), (u64, u64)>,
+}
+
+impl NetStats {
+    /// Bytes sent over one direction of a link.
+    pub fn link_bytes(&self, from: PartyId, to: PartyId) -> u64 {
+        self.per_link.get(&(from, to)).map_or(0, |&(_, b)| b)
+    }
+
+    /// Bytes that crossed the server boundary (either direction).
+    pub fn server_bytes(&self) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((f, t), _)| *f == PartyId::Server || *t == PartyId::Server)
+            .map(|(_, &(_, b))| b)
+            .sum()
+    }
+}
+
+struct Inboxes {
+    senders: HashMap<PartyId, Sender<(PartyId, Message)>>,
+    receivers: HashMap<PartyId, Receiver<(PartyId, Message)>>,
+}
+
+/// A fault to inject into the next matching send (test instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Silently drop the message.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+}
+
+/// The simulated network connecting server, clients and the public board.
+pub struct Network {
+    stats: Mutex<NetStats>,
+    inboxes: Mutex<Inboxes>,
+    faults: Mutex<Vec<(PartyId, PartyId, Fault)>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats.lock();
+        write!(f, "Network({} msgs, {} bytes)", s.messages, s.bytes)
+    }
+}
+
+impl Network {
+    /// Creates a network with inboxes for the server, `n_clients` clients and
+    /// the public board.
+    pub fn new(n_clients: usize) -> Self {
+        let mut senders = HashMap::new();
+        let mut receivers = HashMap::new();
+        let mut add = |p: PartyId| {
+            let (tx, rx) = unbounded();
+            senders.insert(p, tx);
+            receivers.insert(p, rx);
+        };
+        add(PartyId::Server);
+        add(PartyId::Public);
+        for i in 0..n_clients {
+            add(PartyId::Client(i));
+        }
+        Self {
+            stats: Mutex::new(NetStats::default()),
+            inboxes: Mutex::new(Inboxes { senders, receivers }),
+            faults: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Arms a one-shot fault for the next send on `(from, to)` — protocol
+    /// tests use this to check that the orchestration *notices* lost or
+    /// replayed messages instead of silently mis-training.
+    pub fn inject_fault(&self, from: PartyId, to: PartyId, fault: Fault) {
+        self.faults.lock().push((from, to, fault));
+    }
+
+    fn take_fault(&self, from: PartyId, to: PartyId) -> Option<Fault> {
+        let mut faults = self.faults.lock();
+        let idx = faults.iter().position(|&(f, t, _)| f == from && t == to)?;
+        Some(faults.remove(idx).2)
+    }
+
+    /// Encodes `msg`, meters it and delivers it to `to`'s inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` has no inbox (unknown party).
+    pub fn send(&self, from: PartyId, to: PartyId, msg: Message) {
+        let encoded = msg.encode();
+        {
+            let mut stats = self.stats.lock();
+            stats.messages += 1;
+            stats.bytes += encoded.len() as u64;
+            let entry = stats.per_link.entry((from, to)).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += encoded.len() as u64;
+        }
+        // Decode from the wire bytes — the recipient sees only what was
+        // actually serialized.
+        let delivered = Message::decode(encoded).expect("self-encoded message must decode");
+        let fault = self.take_fault(from, to);
+        if fault == Some(Fault::Drop) {
+            return;
+        }
+        let inboxes = self.inboxes.lock();
+        let sender = inboxes
+            .senders
+            .get(&to)
+            .unwrap_or_else(|| panic!("unknown recipient {to}"));
+        if fault == Some(Fault::Duplicate) {
+            sender.send((from, delivered.clone())).expect("inbox closed");
+        }
+        sender.send((from, delivered)).expect("inbox closed");
+    }
+
+    /// Pops the next message from `party`'s inbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvMessageError::Empty`] if the inbox is empty.
+    pub fn try_recv(&self, party: PartyId) -> Result<(PartyId, Message), RecvMessageError> {
+        let inboxes = self.inboxes.lock();
+        let rx = inboxes
+            .receivers
+            .get(&party)
+            .ok_or(RecvMessageError::UnknownParty)?;
+        rx.try_recv().map_err(|_| RecvMessageError::Empty)
+    }
+
+    /// Pops the next message, panicking on an empty inbox (orchestrated
+    /// protocols know exactly when a message must be present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inbox is empty.
+    pub fn recv(&self, party: PartyId) -> (PartyId, Message) {
+        self.try_recv(party)
+            .unwrap_or_else(|_| panic!("inbox of {party} is empty"))
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+
+    /// Resets the traffic counters (e.g. between measurement phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = NetStats::default();
+    }
+}
+
+/// Error receiving from an inbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvMessageError {
+    /// The inbox exists but holds no message.
+    Empty,
+    /// The party has no inbox.
+    UnknownParty,
+}
+
+impl fmt::Display for RecvMessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvMessageError::Empty => write!(f, "inbox is empty"),
+            RecvMessageError::UnknownParty => write!(f, "unknown party"),
+        }
+    }
+}
+
+impl std::error::Error for RecvMessageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MatrixPayload;
+
+    #[test]
+    fn send_recv_and_metering() {
+        let net = Network::new(2);
+        let msg = Message::GenSlice(MatrixPayload::new(1, 2, vec![1.0, 2.0]));
+        net.send(PartyId::Server, PartyId::Client(0), msg.clone());
+        let (from, got) = net.recv(PartyId::Client(0));
+        assert_eq!(from, PartyId::Server);
+        assert_eq!(got, msg);
+        let stats = net.stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.bytes, 1 + 8 + 8);
+        assert_eq!(stats.link_bytes(PartyId::Server, PartyId::Client(0)), 17);
+        assert_eq!(stats.server_bytes(), 17);
+    }
+
+    #[test]
+    fn inboxes_are_fifo_per_party() {
+        let net = Network::new(1);
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 1 });
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 2 });
+        let (_, m1) = net.recv(PartyId::Server);
+        let (_, m2) = net.recv(PartyId::Server);
+        assert_eq!(m1, Message::ShuffleSeedShare { share: 1 });
+        assert_eq!(m2, Message::ShuffleSeedShare { share: 2 });
+        assert!(net.try_recv(PartyId::Server).is_err());
+    }
+
+    #[test]
+    fn client_to_client_traffic_bypasses_server_counter() {
+        let net = Network::new(2);
+        net.send(PartyId::Client(0), PartyId::Client(1), Message::ShuffleSeedShare { share: 7 });
+        assert_eq!(net.stats().server_bytes(), 0);
+        assert!(net.stats().bytes > 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let net = Network::new(1);
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 0 });
+        net.reset_stats();
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn injected_drop_leaves_inbox_empty() {
+        let net = Network::new(1);
+        net.inject_fault(PartyId::Server, PartyId::Client(0), Fault::Drop);
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 1 });
+        assert!(net.try_recv(PartyId::Client(0)).is_err(), "dropped message must not arrive");
+        // Fault is one-shot.
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 2 });
+        assert!(net.try_recv(PartyId::Client(0)).is_ok());
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_twice() {
+        let net = Network::new(1);
+        net.inject_fault(PartyId::Client(0), PartyId::Server, Fault::Duplicate);
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 3 });
+        assert!(net.try_recv(PartyId::Server).is_ok());
+        assert!(net.try_recv(PartyId::Server).is_ok());
+        assert!(net.try_recv(PartyId::Server).is_err());
+    }
+
+    #[test]
+    fn works_across_threads() {
+        use std::sync::Arc;
+        let net = Arc::new(Network::new(1));
+        let n2 = Arc::clone(&net);
+        let handle = std::thread::spawn(move || {
+            n2.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 9 });
+        });
+        handle.join().unwrap();
+        let (_, m) = net.recv(PartyId::Server);
+        assert_eq!(m, Message::ShuffleSeedShare { share: 9 });
+    }
+}

@@ -1,0 +1,288 @@
+//! Wire format for every message exchanged in the GTV protocol.
+//!
+//! Messages are hand-encoded with [`bytes`] (length-prefixed matrices,
+//! little-endian scalars) so the transport layer can meter *exactly* how
+//! many bytes each protocol step moves — the paper's communication-overhead
+//! discussion (§4.3.1) is reproduced from these counters.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A dense f32 matrix payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixPayload {
+    /// Number of rows.
+    pub rows: u32,
+    /// Number of columns.
+    pub cols: u32,
+    /// Row-major values (`rows * cols` entries).
+    pub data: Vec<f32>,
+}
+
+impl MatrixPayload {
+    /// Creates a payload, validating the buffer length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: u32, cols: u32, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), (rows * cols) as usize, "payload shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        8 + self.data.len() * 4
+    }
+}
+
+/// Error from decoding a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeMessageError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeMessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "message decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeMessageError {}
+
+fn err(msg: &str) -> DecodeMessageError {
+    DecodeMessageError { message: msg.into() }
+}
+
+/// Every message type of the GTV protocol (Algorithm 1 plus publication).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server → all clients: a round starts; `selected` constructs the CV.
+    RoundStart {
+        /// Training round number.
+        round: u64,
+        /// Index of the CV-constructing client `p`.
+        selected: u32,
+    },
+    /// Selected client → server: its CV block and the matching row indices
+    /// `idx_p`.
+    CondUpload {
+        /// One-hot conditions within the client's CV block.
+        cv: MatrixPayload,
+        /// Matching real-row indices.
+        indices: Vec<u32>,
+    },
+    /// Server → client `i`: the client's slice of `G^t`'s output.
+    GenSlice(MatrixPayload),
+    /// Client → server: `D_i^b(G_i^b(·))` logits for the synthetic path.
+    SynthLogits(MatrixPayload),
+    /// Client → server: `D_i^b(T_i)` logits for the real path.
+    RealLogits(MatrixPayload),
+    /// Server → client: gradient w.r.t. the client's uploaded logits.
+    GradLogits(MatrixPayload),
+    /// Server → client: gradient w.r.t. the `G^t` slice the client received.
+    GradGenSlice(MatrixPayload),
+    /// Client → public bulletin: its (shuffled) synthetic share.
+    SyntheticShare(MatrixPayload),
+    /// Client ↔ client: contribution to the shared shuffle seed (never
+    /// routed through the server).
+    ShuffleSeedShare {
+        /// The client's random contribution.
+        share: u64,
+    },
+    /// Client → client: the selected data indices, in the *alternative*
+    /// peer-to-peer design of §3.1.6 (the paper rejects it because curious
+    /// clients can mine the index stream; implemented here to reproduce
+    /// that analysis).
+    IndexShare {
+        /// The selected row indices `idx_p`.
+        indices: Vec<u32>,
+    },
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::RoundStart { .. } => 0,
+            Message::CondUpload { .. } => 1,
+            Message::GenSlice(_) => 2,
+            Message::SynthLogits(_) => 3,
+            Message::RealLogits(_) => 4,
+            Message::GradLogits(_) => 5,
+            Message::GradGenSlice(_) => 6,
+            Message::SyntheticShare(_) => 7,
+            Message::ShuffleSeedShare { .. } => 8,
+            Message::IndexShare { .. } => 9,
+        }
+    }
+
+    /// Encodes to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(self.tag());
+        match self {
+            Message::RoundStart { round, selected } => {
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*selected);
+            }
+            Message::CondUpload { cv, indices } => {
+                put_matrix(&mut buf, cv);
+                buf.put_u32_le(indices.len() as u32);
+                for &i in indices {
+                    buf.put_u32_le(i);
+                }
+            }
+            Message::GenSlice(m)
+            | Message::SynthLogits(m)
+            | Message::RealLogits(m)
+            | Message::GradLogits(m)
+            | Message::GradGenSlice(m)
+            | Message::SyntheticShare(m) => put_matrix(&mut buf, m),
+            Message::ShuffleSeedShare { share } => buf.put_u64_le(*share),
+            Message::IndexShare { indices } => {
+                buf.put_u32_le(indices.len() as u32);
+                for &i in indices {
+                    buf.put_u32_le(i);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeMessageError`] on truncated or malformed input.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, DecodeMessageError> {
+        if bytes.remaining() < 1 {
+            return Err(err("empty message"));
+        }
+        let tag = bytes.get_u8();
+        let msg = match tag {
+            0 => {
+                if bytes.remaining() < 12 {
+                    return Err(err("truncated RoundStart"));
+                }
+                Message::RoundStart { round: bytes.get_u64_le(), selected: bytes.get_u32_le() }
+            }
+            1 => {
+                let cv = get_matrix(&mut bytes)?;
+                if bytes.remaining() < 4 {
+                    return Err(err("truncated index count"));
+                }
+                let n = bytes.get_u32_le() as usize;
+                if bytes.remaining() < n * 4 {
+                    return Err(err("truncated indices"));
+                }
+                let indices = (0..n).map(|_| bytes.get_u32_le()).collect();
+                Message::CondUpload { cv, indices }
+            }
+            2 => Message::GenSlice(get_matrix(&mut bytes)?),
+            3 => Message::SynthLogits(get_matrix(&mut bytes)?),
+            4 => Message::RealLogits(get_matrix(&mut bytes)?),
+            5 => Message::GradLogits(get_matrix(&mut bytes)?),
+            6 => Message::GradGenSlice(get_matrix(&mut bytes)?),
+            7 => Message::SyntheticShare(get_matrix(&mut bytes)?),
+            8 => {
+                if bytes.remaining() < 8 {
+                    return Err(err("truncated ShuffleSeedShare"));
+                }
+                Message::ShuffleSeedShare { share: bytes.get_u64_le() }
+            }
+            9 => {
+                if bytes.remaining() < 4 {
+                    return Err(err("truncated index count"));
+                }
+                let n = bytes.get_u32_le() as usize;
+                if bytes.remaining() < n * 4 {
+                    return Err(err("truncated indices"));
+                }
+                Message::IndexShare { indices: (0..n).map(|_| bytes.get_u32_le()).collect() }
+            }
+            t => return Err(err(&format!("unknown message tag {t}"))),
+        };
+        if bytes.has_remaining() {
+            return Err(err("trailing bytes after message"));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_matrix(buf: &mut BytesMut, m: &MatrixPayload) {
+    buf.put_u32_le(m.rows);
+    buf.put_u32_le(m.cols);
+    for &v in &m.data {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_matrix(bytes: &mut Bytes) -> Result<MatrixPayload, DecodeMessageError> {
+    if bytes.remaining() < 8 {
+        return Err(err("truncated matrix header"));
+    }
+    let rows = bytes.get_u32_le();
+    let cols = bytes.get_u32_le();
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| err("matrix dimensions overflow"))? as usize;
+    if bytes.remaining() < n * 4 {
+        return Err(err("truncated matrix body"));
+    }
+    let data = (0..n).map(|_| bytes.get_f32_le()).collect();
+    Ok(MatrixPayload { rows, cols, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_matrix() -> MatrixPayload {
+        MatrixPayload::new(2, 3, vec![1.0, -2.0, 3.5, 0.0, 7.25, -0.5])
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            Message::RoundStart { round: 42, selected: 1 },
+            Message::CondUpload { cv: demo_matrix(), indices: vec![3, 1, 4] },
+            Message::GenSlice(demo_matrix()),
+            Message::SynthLogits(demo_matrix()),
+            Message::RealLogits(demo_matrix()),
+            Message::GradLogits(demo_matrix()),
+            Message::GradGenSlice(demo_matrix()),
+            Message::SyntheticShare(demo_matrix()),
+            Message::ShuffleSeedShare { share: 0xdead_beef },
+            Message::IndexShare { indices: vec![9, 8, 7] },
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            let dec = Message::decode(enc).unwrap();
+            assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_garbage() {
+        assert!(Message::decode(Bytes::new()).is_err());
+        assert!(Message::decode(Bytes::from_static(&[99])).is_err());
+        let enc = Message::GenSlice(demo_matrix()).encode();
+        let truncated = enc.slice(0..enc.len() - 3);
+        assert!(Message::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut enc = Message::ShuffleSeedShare { share: 1 }.encode().to_vec();
+        enc.push(0);
+        assert!(Message::decode(Bytes::from(enc)).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let m = demo_matrix();
+        assert_eq!(m.encoded_len(), 8 + 6 * 4);
+        let enc = Message::GenSlice(m).encode();
+        assert_eq!(enc.len(), 1 + 8 + 24);
+    }
+}

@@ -1,0 +1,17 @@
+//! # gtv-suite
+//!
+//! Umbrella package for the GTV reproduction. Re-exports every crate in the
+//! workspace so examples and integration tests can use one import root.
+//!
+//! The actual library lives in the member crates; see the repository
+//! `README.md` and `DESIGN.md` for the architecture.
+
+pub use gtv;
+pub use gtv_cond;
+pub use gtv_data;
+pub use gtv_encoders;
+pub use gtv_metrics;
+pub use gtv_ml;
+pub use gtv_nn;
+pub use gtv_tensor;
+pub use gtv_vfl;

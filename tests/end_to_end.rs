@@ -1,0 +1,115 @@
+//! Cross-crate integration: the full GTV pipeline at small scale.
+
+use gtv::{CentralizedTrainer, GtvConfig, GtvTrainer, NetPartition};
+use gtv_data::{Dataset, Table};
+use gtv_metrics::{similarity, SimilarityReport};
+use gtv_ml::utility_difference;
+
+fn even_shards(table: &Table, n_clients: usize) -> Vec<Table> {
+    let n = table.n_cols();
+    let groups = gtv_vfl::PartitionPlan::Even { n_clients }.column_groups(n, None, None);
+    table.vertical_split(&groups)
+}
+
+#[test]
+fn gtv_preserves_schema_and_row_count() {
+    let table = Dataset::Adult.generate(150, 0);
+    let shards = even_shards(&table, 2);
+    let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+    trainer.train();
+    let synth = trainer.synthesize(80, 1);
+    assert_eq!(synth.n_rows(), 80);
+    assert_eq!(synth.n_cols(), table.n_cols());
+    // Schema round-trips through vertical split + hconcat of shares.
+    let names: Vec<&str> = synth.schema().columns().iter().map(|c| c.name.as_str()).collect();
+    let orig: Vec<&str> = table.schema().columns().iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, orig);
+}
+
+#[test]
+fn same_seed_reproduces_training_bitwise() {
+    let table = Dataset::Loan.generate(100, 0);
+    let run = || {
+        let shards = even_shards(&table, 2);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        trainer.train();
+        trainer.synthesize(40, 5)
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the same synthetic table");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let table = Dataset::Loan.generate(100, 0);
+    let shards = even_shards(&table, 2);
+    let mut a = GtvTrainer::new(shards.clone(), GtvConfig { seed: 1, ..GtvConfig::smoke() });
+    a.train();
+    let mut b = GtvTrainer::new(shards, GtvConfig { seed: 2, ..GtvConfig::smoke() });
+    b.train();
+    assert_ne!(a.synthesize(40, 5), b.synthesize(40, 5));
+}
+
+#[test]
+fn trained_gtv_beats_untrained_on_marginals() {
+    let table = Dataset::Loan.generate(500, 0);
+    let shards = even_shards(&table, 2);
+    let config = GtvConfig { rounds: 150, d_steps: 1, batch: 64, block_width: 64, embedding_dim: 32, ..GtvConfig::default() };
+    let mut trained = GtvTrainer::new(shards.clone(), config.clone());
+    trained.train();
+    let untrained = GtvTrainer::new(shards, config);
+    let s_trained: SimilarityReport = similarity(&table, &trained.synthesize(500, 1));
+    let s_untrained: SimilarityReport = similarity(&table, &untrained.synthesize(500, 1));
+    assert!(
+        s_trained.avg_jsd < s_untrained.avg_jsd,
+        "training must improve categorical fidelity: {} vs {}",
+        s_trained.avg_jsd,
+        s_untrained.avg_jsd
+    );
+}
+
+#[test]
+fn centralized_and_gtv_produce_comparable_small_scale_output() {
+    let table = Dataset::Loan.generate(300, 0);
+    let config = GtvConfig { rounds: 60, d_steps: 1, batch: 64, block_width: 64, embedding_dim: 32, ..GtvConfig::default() };
+    let mut central = CentralizedTrainer::new(table.clone(), config.clone());
+    central.train();
+    let shards = even_shards(&table, 2);
+    let mut fed = GtvTrainer::new(shards, config);
+    fed.train();
+    let s_c = similarity(&table, &central.synthesize(300, 1));
+    let s_f = similarity(&table, &fed.synthesize(300, 1));
+    // Both must be sane (bounded) — the quantitative comparison is the
+    // benchmark harness's job.
+    for s in [s_c, s_f] {
+        assert!(s.avg_jsd.is_finite() && s.avg_jsd < 0.6, "jsd {}", s.avg_jsd);
+        assert!(s.avg_wd.is_finite() && s.avg_wd < 1.0, "wd {}", s.avg_wd);
+    }
+}
+
+#[test]
+fn utility_pipeline_runs_on_synthetic_output() {
+    let table = Dataset::Loan.generate(400, 0);
+    let (train, test) = table.train_test_split(0.25, 1);
+    let shards = even_shards(&train, 2);
+    let mut trainer = GtvTrainer::new(shards, GtvConfig { rounds: 30, ..GtvConfig::smoke() });
+    trainer.train();
+    let synth = trainer.synthesize(train.n_rows(), 2);
+    let diff = utility_difference(&train, &synth, &test, 0);
+    assert!(diff.accuracy.is_finite() && diff.accuracy <= 1.0);
+    assert!(diff.f1.is_finite() && diff.f1 <= 1.0);
+    assert!(diff.auc.is_finite() && diff.auc <= 1.0);
+}
+
+#[test]
+fn partition_affects_output_but_not_validity() {
+    let table = Dataset::Loan.generate(120, 0);
+    let mut outputs = Vec::new();
+    for partition in [NetPartition::d2g0(), NetPartition::d2g2(), NetPartition::new(0, 2, 0, 2)] {
+        let shards = even_shards(&table, 2);
+        let mut t = GtvTrainer::new(shards, GtvConfig { partition, ..GtvConfig::smoke() });
+        t.train();
+        outputs.push(t.synthesize(30, 3));
+    }
+    assert_eq!(outputs[0].n_cols(), outputs[1].n_cols());
+    assert_ne!(outputs[0], outputs[1], "different partitions must give different models");
+}

@@ -1,0 +1,49 @@
+//! Failure injection: the orchestrated protocol must *notice* transport
+//! faults rather than silently mis-train.
+
+use gtv::{GtvConfig, GtvTrainer};
+use gtv_data::Dataset;
+use gtv_vfl::{Fault, PartyId};
+
+fn trainer() -> GtvTrainer {
+    let table = Dataset::Loan.generate(60, 0);
+    let n = table.n_cols();
+    let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
+    GtvTrainer::new(shards, GtvConfig::smoke())
+}
+
+#[test]
+fn dropped_upload_aborts_the_round() {
+    let mut t = trainer();
+    t.network().inject_fault(PartyId::Client(0), PartyId::Server, Fault::Drop);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.train_round()));
+    assert!(result.is_err(), "a lost client upload must not go unnoticed");
+}
+
+#[test]
+fn dropped_server_message_aborts_the_round() {
+    let mut t = trainer();
+    t.network().inject_fault(PartyId::Server, PartyId::Client(1), Fault::Drop);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.train_round()));
+    assert!(result.is_err(), "a lost server message must not go unnoticed");
+}
+
+#[test]
+fn duplicate_message_is_detected_by_the_next_exchange() {
+    let mut t = trainer();
+    t.network().inject_fault(PartyId::Client(0), PartyId::Server, Fault::Duplicate);
+    // The duplicate desynchronizes the lockstep protocol; some later
+    // exchange observes the stale message and the round aborts.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        t.train_round();
+        t.train_round();
+    }));
+    assert!(result.is_err(), "a replayed message must not go unnoticed");
+}
+
+#[test]
+fn clean_network_trains_fine_after_fault_free_setup() {
+    let mut t = trainer();
+    t.train_round();
+    assert_eq!(t.history().g_loss.len(), 1);
+}

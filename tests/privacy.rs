@@ -1,0 +1,152 @@
+//! Integration tests of GTV's privacy mechanisms (paper §3.1.5–3.1.7).
+
+use gtv::{GtvConfig, GtvTrainer};
+use gtv_data::Dataset;
+use gtv_vfl::PartyId;
+
+fn trainer(rows: usize, shuffling: bool, rounds: usize) -> GtvTrainer {
+    let table = Dataset::Loan.generate(rows, 0);
+    let n = table.n_cols();
+    let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
+    let config = GtvConfig { rounds, d_steps: 1, batch: 64, block_width: 32, embedding_dim: 16, ..GtvConfig::default() };
+    let mut t = GtvTrainer::new(shards, config);
+    t.set_shuffling(shuffling);
+    t
+}
+
+/// Fig. 5: without shuffling, the server's (CV, idx) joins reconstruct the
+/// categorical columns with high accuracy.
+#[test]
+fn server_reconstructs_without_shuffling() {
+    let mut t = trainer(150, false, 100);
+    t.train();
+    let report = t.observer().reconstruction_accuracy(&t.column_truths());
+    assert!(report.observed_cells > 100, "attack needs observations, got {}", report.observed_cells);
+    assert!(
+        report.accuracy > 0.95,
+        "without shuffling the attack should be near-perfect, got {:.3}",
+        report.accuracy
+    );
+}
+
+/// Fig. 6: with training-with-shuffling, the same joins collapse to noise.
+#[test]
+fn shuffling_defeats_reconstruction() {
+    let mut t = trainer(150, true, 100);
+    t.train();
+    let report = t.observer().reconstruction_accuracy(&t.column_truths());
+    // Chance level depends on category counts; Loan's columns are binary to
+    // 4-way, so anything near 1.0 would mean the defence failed.
+    assert!(
+        report.accuracy < 0.85,
+        "with shuffling the attack must degrade, got {:.3}",
+        report.accuracy
+    );
+}
+
+#[test]
+fn shuffling_strictly_reduces_attack_accuracy() {
+    let mut plain = trainer(150, false, 80);
+    plain.train();
+    let mut shuf = trainer(150, true, 80);
+    shuf.train();
+    let a_plain = plain.observer().reconstruction_accuracy(&plain.column_truths()).accuracy;
+    let a_shuf = shuf.observer().reconstruction_accuracy(&shuf.column_truths()).accuracy;
+    assert!(
+        a_plain > a_shuf + 0.05,
+        "shuffling must measurably reduce the attack: {a_plain:.3} vs {a_shuf:.3}"
+    );
+}
+
+/// The shuffle seed is negotiated peer-to-peer; the server's inbox and the
+/// server-side byte counters must show none of it.
+#[test]
+fn server_observes_no_seed_traffic() {
+    let t = trainer(100, true, 0);
+    let stats = t.network_stats();
+    // Before any training round the only traffic is seed negotiation.
+    assert!(stats.bytes > 0, "negotiation must have happened");
+    assert_eq!(stats.server_bytes(), 0, "server must not see seed shares");
+    assert!(t.network().try_recv(PartyId::Server).is_err());
+}
+
+/// §3.1.7: the published synthetic shares are shuffled, so their row order
+/// differs from generation order — the server cannot map its generator
+/// inputs to published rows.
+#[test]
+fn publication_shuffle_changes_row_order_consistently() {
+    let mut t = trainer(150, true, 10);
+    t.train();
+    let shares = t.synthesize_shares(60, 9);
+    assert_eq!(shares.len(), 2);
+    // Shares stay row-aligned with each other (same publication permutation).
+    let again = t.synthesize_shares(60, 9);
+    assert_eq!(shares, again, "publication must be deterministic per seed");
+    let other = t.synthesize_shares(60, 10);
+    assert_ne!(shares, other, "different publication seeds must differ");
+}
+
+/// §3.1.6: in the rejected peer-to-peer index-sharing design, a curious
+/// client that owns *no* categorical columns can still identify the rows
+/// carrying the minority category of the other client's column, because
+/// CTGAN's log-frequency sampling selects them far above their base rate —
+/// and shuffling does not help, since clients know the permutation.
+#[test]
+fn p2p_index_sharing_leaks_minority_membership() {
+    use gtv::IndexSharing;
+    use gtv_data::{ColumnData, ColumnKind, ColumnMeta, Schema, Table};
+    let n = 200usize;
+    // Client 0: one continuous column (the curious client).
+    let curious = Table::new(
+        Schema::new(vec![ColumnMeta::new("x", ColumnKind::Continuous)], None),
+        vec![ColumnData::Float((0..n).map(|i| i as f64).collect())],
+    );
+    // Client 1: a 90/10 binary column; rows 0..20 are the minority.
+    let labels: Vec<u32> = (0..n).map(|i| u32::from(i < 20)).collect();
+    let owner = Table::new(
+        Schema::new(vec![ColumnMeta::new("g", ColumnKind::categorical(["maj", "min"]))], None),
+        vec![ColumnData::Cat(labels)],
+    );
+    let config = GtvConfig {
+        index_sharing: IndexSharing::PeerToPeer,
+        rounds: 150,
+        d_steps: 1,
+        batch: 32,
+        block_width: 16,
+        embedding_dim: 8,
+        ..GtvConfig::default()
+    };
+    let mut t = GtvTrainer::new(vec![curious, owner], config);
+    t.train();
+    let minority: Vec<usize> = (0..20).collect();
+    let precision = t.client_index_observers()[0].minority_precision(&minority);
+    // Chance would be 10%; log-frequency oversampling makes the minority
+    // rows dominate the curious client's frequency table.
+    assert!(
+        precision > 0.5,
+        "curious client should identify minority rows, precision {precision:.2}"
+    );
+}
+
+/// The paper's walkthrough (Fig. 5) at miniature scale: two clients × one
+/// categorical column each, no shuffling ⇒ the server's inference table is
+/// the one-hot encoding of the data.
+#[test]
+fn fig5_miniature_reconstruction_is_exact() {
+    use gtv_data::{ColumnData, ColumnKind, ColumnMeta, Schema, Table};
+    let gender = Table::new(
+        Schema::new(vec![ColumnMeta::new("gender", ColumnKind::categorical(["M", "F"]))], None),
+        vec![ColumnData::Cat(vec![0, 0, 0, 1, 1, 1])],
+    );
+    let loan = Table::new(
+        Schema::new(vec![ColumnMeta::new("loan", ColumnKind::categorical(["Y", "N"]))], None),
+        vec![ColumnData::Cat(vec![0, 0, 1, 1, 1, 1])],
+    );
+    let config = GtvConfig { rounds: 200, d_steps: 1, batch: 8, block_width: 16, embedding_dim: 8, ..GtvConfig::default() };
+    let mut t = GtvTrainer::new(vec![gender, loan], config);
+    t.set_shuffling(false);
+    t.train();
+    let report = t.observer().reconstruction_accuracy(&t.column_truths());
+    assert_eq!(report.accuracy, 1.0, "miniature Fig. 5 attack must be exact");
+    assert!(report.observed_cells >= 10, "most cells should be observed");
+}
