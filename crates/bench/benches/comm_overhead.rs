@@ -21,8 +21,8 @@ fn bench_transport(c: &mut Criterion) {
     let m = Message::GenSlice(MatrixPayload::new(64, 128, vec![1.0; 64 * 128]));
     c.bench_function("send_recv_64x128", |b| {
         b.iter(|| {
-            net.send(PartyId::Server, PartyId::Client(0), m.clone());
-            black_box(net.recv(PartyId::Client(0)));
+            net.send(PartyId::Server, PartyId::Client(0), m.clone()).unwrap();
+            black_box(net.recv(PartyId::Client(0)).unwrap());
         });
     });
 }

@@ -8,15 +8,15 @@ use std::hint::black_box;
 fn bench_encoders(c: &mut Criterion) {
     for ds in [Dataset::Loan, Dataset::Credit] {
         let table = ds.generate(1_000, 0);
-        c.bench_function(&format!("fit_{}_1k", ds.name()), |b| {
+        c.bench_function(format!("fit_{}_1k", ds.name()), |b| {
             b.iter(|| black_box(TableTransformer::fit(&table, 5, 0)));
         });
         let tf = TableTransformer::fit(&table, 5, 0);
-        c.bench_function(&format!("encode_{}_1k", ds.name()), |b| {
+        c.bench_function(format!("encode_{}_1k", ds.name()), |b| {
             b.iter(|| black_box(tf.encode(&table, 1)));
         });
         let encoded = tf.encode(&table, 1);
-        c.bench_function(&format!("decode_{}_1k", ds.name()), |b| {
+        c.bench_function(format!("decode_{}_1k", ds.name()), |b| {
             b.iter(|| black_box(tf.decode(&encoded)));
         });
     }

@@ -23,7 +23,7 @@ fn trainer(partition: NetPartition) -> GtvTrainer {
 fn bench_round(c: &mut Criterion) {
     for partition in [NetPartition::d2g0(), NetPartition::d2g2(), NetPartition::new(0, 2, 0, 2)] {
         let mut t = trainer(partition);
-        c.bench_function(&format!("train_round_{}", partition.label().replace(' ', "_")), |b| {
+        c.bench_function(format!("train_round_{}", partition.label().replace(' ', "_")), |b| {
             b.iter(|| t.train_round());
         });
     }

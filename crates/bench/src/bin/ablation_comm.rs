@@ -27,7 +27,7 @@ fn bytes_per_round(n_clients: usize, partition: NetPartition, faithful: bool) ->
     trainer.network().reset_stats();
     let rounds = 5;
     for _ in 0..rounds {
-        trainer.train_round();
+        trainer.train_round().expect("GTV protocol transport failed");
     }
     let stats = trainer.network_stats();
     (

@@ -35,8 +35,8 @@ fn main() {
     let (train, holdout) = table.train_test_split(0.5, 1);
     let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(table.n_cols(), None, None);
     let mut trainer = GtvTrainer::new(train.vertical_split(&groups), base(0));
-    trainer.train();
-    let synth = trainer.synthesize(train.n_rows(), 2);
+    trainer.train().expect("GTV protocol transport failed");
+    let synth = trainer.synthesize(train.n_rows(), 2).expect("GTV protocol transport failed");
     // Restore original column order for schema-matched comparison.
     let order: Vec<usize> = groups.iter().flatten().copied().collect();
     let train_o = train.select_columns(&order);
@@ -60,8 +60,8 @@ fn main() {
     for sigma in [0.0f32, 0.2, 0.5, 1.0] {
         let config = GtvConfig { dp_noise_sigma: sigma, ..base(3) };
         let mut tr = GtvTrainer::new(train.vertical_split(&groups), config);
-        tr.train();
-        let s = tr.synthesize(train.n_rows(), 4);
+        tr.train().expect("GTV protocol transport failed");
+        let s = tr.synthesize(train.n_rows(), 4).expect("GTV protocol transport failed");
         let rep = similarity(&train_o, &s);
         t.row([format!("{sigma:.1}"), f4(rep.avg_jsd), f4(rep.avg_wd), f3(rep.diff_corr)]);
         eprintln!("sigma {sigma} done");
@@ -74,8 +74,11 @@ fn main() {
     println!("# Future work: boosting the small client's network at 9010\n");
     let ranking = importance_ranking(&table, ShapleyConfig { seed: 7, ..Default::default() });
     let target = table.schema().target().expect("loan has a target");
-    let groups_9010 = PartitionPlan::ByImportance { important_frac: 0.9 }
-        .column_groups(table.n_cols(), Some(target), Some(&ranking));
+    let groups_9010 = PartitionPlan::ByImportance { important_frac: 0.9 }.column_groups(
+        table.n_cols(),
+        Some(target),
+        Some(&ranking),
+    );
     let order: Vec<usize> = groups_9010.iter().flatten().copied().collect();
     let train_o = train.select_columns(&order);
     let mut t = MarkdownTable::new(["configuration", "avg JSD", "avg WD", "diff corr"]);
@@ -86,8 +89,8 @@ fn main() {
             ..base(5)
         };
         let mut tr = GtvTrainer::new(train.vertical_split(&groups_9010), config);
-        tr.train();
-        let s = tr.synthesize(train.n_rows(), 6);
+        tr.train().expect("GTV protocol transport failed");
+        let s = tr.synthesize(train.n_rows(), 6).expect("GTV protocol transport failed");
         let rep = similarity(&train_o, &s);
         t.row([name.to_string(), f4(rep.avg_jsd), f4(rep.avg_wd), f3(rep.diff_corr)]);
         eprintln!("{name} done");

@@ -29,28 +29,43 @@ fn main() {
         .map(|&ds| {
             let data = ds.generate(scale.rows, 7);
             let target = data.schema().target().expect("target exists");
-            let ranking = importance_ranking(&data, ShapleyConfig { seed: 7, ..Default::default() });
+            let ranking =
+                importance_ranking(&data, ShapleyConfig { seed: 7, ..Default::default() });
             eprintln!("shapley ranking done for {}", ds.name());
             (ds, ranking, target)
         })
         .collect();
 
-    let mut table2 = MarkdownTable::new(["partition-distribution", "loan", "adult", "covtype", "intrusion", "credit"]);
+    let mut table2 = MarkdownTable::new([
+        "partition-distribution",
+        "loan",
+        "adult",
+        "covtype",
+        "intrusion",
+        "credit",
+    ]);
 
     for (pname, partition) in partitions {
         println!("## {pname}\n");
         let mut fig = MarkdownTable::new([
-            "dataset", "split", "Δaccuracy", "ΔF1", "ΔAUC", "avg JSD", "avg WD",
+            "dataset",
+            "split",
+            "Δaccuracy",
+            "ΔF1",
+            "ΔAUC",
+            "avg JSD",
+            "avg WD",
         ]);
-        let mut corr_rows: Vec<Vec<String>> = splits
-            .iter()
-            .map(|(s, _)| vec![format!("{} -{s}", partition.label())])
-            .collect();
+        let mut corr_rows: Vec<Vec<String>> =
+            splits.iter().map(|(s, _)| vec![format!("{} -{s}", partition.label())]).collect();
         for (ds, ranking, target) in &rankings {
             let n = ds.generate(4, 0).n_cols();
             for (si, (sname, frac)) in splits.iter().enumerate() {
-                let groups = PartitionPlan::ByImportance { important_frac: *frac }
-                    .column_groups(n, Some(*target), Some(ranking));
+                let groups = PartitionPlan::ByImportance { important_frac: *frac }.column_groups(
+                    n,
+                    Some(*target),
+                    Some(ranking),
+                );
                 let r = run_gtv(*ds, &groups, partition, scale.width, scale);
                 fig.row([
                     ds.name().to_string(),

@@ -25,22 +25,36 @@ fn main() {
     let widths = [("default", scale.width), ("enlarged", scale.width * 3)];
 
     let mut table3 = MarkdownTable::new([
-        "partition-#clients", "generator", "loan", "adult", "covtype", "intrusion", "credit",
+        "partition-#clients",
+        "generator",
+        "loan",
+        "adult",
+        "covtype",
+        "intrusion",
+        "credit",
     ]);
 
     for (pname, partition) in partitions {
         println!("## {pname}\n");
         let mut fig = MarkdownTable::new([
-            "clients", "generator", "Δaccuracy", "ΔF1", "ΔAUC", "avg JSD", "avg WD", "MiB/run",
+            "clients",
+            "generator",
+            "Δaccuracy",
+            "ΔF1",
+            "ΔAUC",
+            "avg JSD",
+            "avg WD",
+            "MiB/run",
         ]);
         for n_clients in 2..=5usize {
             for (wname, width) in widths {
                 let mut per_ds: Vec<RunOutcome> = Vec::new();
-                let mut corr_row = vec![format!("{}-{}", partition.label(), n_clients), wname.to_string()];
+                let mut corr_row =
+                    vec![format!("{}-{}", partition.label(), n_clients), wname.to_string()];
                 for ds in Dataset::all() {
                     let n = ds.generate(4, 0).n_cols();
-                    let groups =
-                        PartitionPlan::RandomEven { n_clients, seed: 11 }.column_groups(n, None, None);
+                    let groups = PartitionPlan::RandomEven { n_clients, seed: 11 }
+                        .column_groups(n, None, None);
                     let r = run_gtv(ds, &groups, partition, width, scale);
                     corr_row.push(f3(r.diff_corr));
                     per_ds.push(r);

@@ -10,7 +10,12 @@ use gtv_ml::{evaluate_one, importance_ranking, Evaluator, ShapleyConfig};
 fn main() {
     let scale = ExperimentScale::from_env();
     println!("# Fig. 3 — motivation case study (rows={}, repeats={})\n", scale.rows, scale.repeats);
-    let mut table = MarkdownTable::new(["dataset", "Setting-A (top 10%)", "Setting-B (rest 90%)", "Setting-C (all)"]);
+    let mut table = MarkdownTable::new([
+        "dataset",
+        "Setting-A (top 10%)",
+        "Setting-B (rest 90%)",
+        "Setting-C (all)",
+    ]);
     for ds in Dataset::all() {
         let data = ds.generate(scale.rows, 7);
         let target = data.schema().target().expect("benchmark datasets have targets");

@@ -22,7 +22,7 @@ fn attack(ds: Dataset, shuffling: bool, scale: ExperimentScale) -> (f64, usize) 
     };
     let mut trainer = GtvTrainer::new(shards, config);
     trainer.set_shuffling(shuffling);
-    trainer.train();
+    trainer.train().expect("GTV protocol transport failed");
     let report = trainer.observer().reconstruction_accuracy(&trainer.column_truths());
     (report.accuracy, report.observed_cells)
 }

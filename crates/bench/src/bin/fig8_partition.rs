@@ -16,7 +16,14 @@ fn main() {
     );
 
     let mut table = MarkdownTable::new([
-        "config", "Δaccuracy", "ΔF1", "ΔAUC", "avg JSD", "avg WD", "Avg-client", "Across-client",
+        "config",
+        "Δaccuracy",
+        "ΔF1",
+        "ΔAUC",
+        "avg JSD",
+        "avg WD",
+        "Avg-client",
+        "Across-client",
     ]);
 
     // Centralized baseline first.

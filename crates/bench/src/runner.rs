@@ -3,7 +3,9 @@
 
 use gtv::{CentralizedTrainer, GtvConfig, GtvTrainer, NetPartition};
 use gtv_data::{Dataset, Table};
-use gtv_metrics::{across_client_diff_corr, avg_client_diff_corr, diff_corr, similarity, SimilarityReport};
+use gtv_metrics::{
+    across_client_diff_corr, avg_client_diff_corr, diff_corr, similarity, SimilarityReport,
+};
 use gtv_ml::{utility_difference, Scores};
 use std::time::Instant;
 
@@ -142,7 +144,12 @@ fn score_run(
         let synth_parts = synth.vertical_split(&positional);
         (
             avg_client_diff_corr(&real_parts, &synth_parts),
-            across_client_diff_corr(&real_parts[0], &real_parts[1], &synth_parts[0], &synth_parts[1]),
+            across_client_diff_corr(
+                &real_parts[0],
+                &real_parts[1],
+                &synth_parts[0],
+                &synth_parts[1],
+            ),
         )
     } else {
         (0.0, 0.0)
@@ -167,9 +174,11 @@ pub fn run_gtv(
             let shards = train.vertical_split(groups);
             let mut trainer = GtvTrainer::new(shards, scale.config(partition, block_width, seed));
             let start = Instant::now();
-            trainer.train();
+            trainer.train().expect("GTV protocol transport failed");
             let seconds = start.elapsed().as_secs_f64();
-            let synth = trainer.synthesize(train.n_rows(), seed + 1);
+            let synth = trainer
+                .synthesize(train.n_rows(), seed + 1)
+                .expect("GTV protocol transport failed");
             // The synthetic join's column order follows the group order;
             // reorder the real train/test tables identically so schemas
             // match for scoring.
@@ -197,12 +206,16 @@ pub fn run_centralized(dataset: Dataset, block_width: usize, scale: ExperimentSc
             let seed = 100 + rep as u64;
             let table = dataset.generate(scale.rows, seed);
             let (train, test) = table.train_test_split(0.2, seed);
-            let mut trainer =
-                CentralizedTrainer::new(train.clone(), scale.config(NetPartition::d2g0(), block_width, seed));
+            let mut trainer = CentralizedTrainer::new(
+                train.clone(),
+                scale.config(NetPartition::d2g0(), block_width, seed),
+            );
             let start = Instant::now();
-            trainer.train();
+            trainer.train().expect("GTV protocol transport failed");
             let seconds = start.elapsed().as_secs_f64();
-            let synth = trainer.synthesize(train.n_rows(), seed + 1);
+            let synth = trainer
+                .synthesize(train.n_rows(), seed + 1)
+                .expect("GTV protocol transport failed");
             score_run(&train, &test, &synth, &[], 0, seconds, seed)
         })
         .collect();

@@ -44,9 +44,7 @@ impl Args {
             let key = token
                 .strip_prefix("--")
                 .ok_or_else(|| err(format!("expected a --flag, found '{token}'")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| err(format!("flag --{key} needs a value")))?;
+            let value = it.next().ok_or_else(|| err(format!("flag --{key} needs a value")))?;
             flags.insert(key.to_string(), value.clone());
         }
         Ok(Args { command, flags })
@@ -79,12 +77,14 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error if the value does not parse.
-    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseArgsError> {
+    pub fn parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| err(format!("invalid value '{v}' for --{key}"))),
+            Some(v) => v.parse().map_err(|_| err(format!("invalid value '{v}' for --{key}"))),
         }
     }
 }

@@ -115,13 +115,13 @@ fn synth(args: &Args) -> Result<(), String> {
         trainer.load_weights(&dict).map_err(|e| e.to_string())?;
         println!("loaded weights from {path} — skipping training");
     } else {
-        trainer.train();
+        trainer.train().map_err(|e| e.to_string())?;
     }
     if let Some(path) = args.optional("save-weights") {
         trainer.save_weights().save(path).map_err(|e| e.to_string())?;
         println!("saved weights to {path}");
     }
-    let synthetic = trainer.synthesize(table.n_rows(), 1);
+    let synthetic = trainer.synthesize(table.n_rows(), 1).map_err(|e| e.to_string())?;
     // Restore the input column order before writing.
     let order: Vec<usize> = groups.iter().flatten().copied().collect();
     let mut inverse = vec![0usize; order.len()];
@@ -133,15 +133,28 @@ fn synth(args: &Args) -> Result<(), String> {
     let report = similarity(&table, &synthetic);
     let stats = trainer.network_stats();
     println!("wrote {} synthetic rows to {out}", synthetic.n_rows());
-    println!("avg JSD {:.4} | avg WD {:.4} | diff corr {:.3}", report.avg_jsd, report.avg_wd, report.diff_corr);
-    println!("protocol traffic: {} messages, {:.1} MiB", stats.messages, stats.bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "avg JSD {:.4} | avg WD {:.4} | diff corr {:.3}",
+        report.avg_jsd, report.avg_wd, report.diff_corr
+    );
+    println!(
+        "protocol traffic: {} messages, {:.1} MiB",
+        stats.messages,
+        stats.bytes as f64 / (1024.0 * 1024.0)
+    );
     Ok(())
 }
 
 fn evaluate(args: &Args) -> Result<(), String> {
     let target = args.required("target").map_err(|e| e.to_string())?;
     let real = load_table(args.required("real").map_err(|e| e.to_string())?, Some(target))?;
-    let synth = load_table(args.required("synth").map_err(|e| e.to_string())?, Some(target))?;
+    // Parse the synthetic file against the *real* schema: inferring it
+    // independently would order categories by first occurrence (and pick
+    // Mixed vs Continuous from the data), making the two schemas unequal.
+    let synth_path = args.required("synth").map_err(|e| e.to_string())?;
+    let synth_text =
+        std::fs::read_to_string(synth_path).map_err(|e| format!("reading {synth_path}: {e}"))?;
+    let synth = from_csv_string(&synth_text, real.schema()).map_err(|e| e.to_string())?;
     let seed = args.parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
     let report = similarity(&real, &synth);
     println!("avg JSD   {:.4}", report.avg_jsd);
@@ -155,20 +168,17 @@ fn evaluate(args: &Args) -> Result<(), String> {
 }
 
 fn privacy(args: &Args) -> Result<(), String> {
-    let table = load_table(args.required("input").map_err(|e| e.to_string())?, args.optional("target"))?;
+    let table =
+        load_table(args.required("input").map_err(|e| e.to_string())?, args.optional("target"))?;
     let n_clients = args.parsed_or("clients", 2usize).map_err(|e| e.to_string())?;
     let rounds = args.parsed_or("rounds", 100usize).map_err(|e| e.to_string())?;
     let groups = PartitionPlan::Even { n_clients }.column_groups(table.n_cols(), None, None);
     for shuffling in [false, true] {
-        let config = GtvConfig {
-            rounds,
-            block_width: 64,
-            embedding_dim: 32,
-            ..GtvConfig::default()
-        };
+        let config =
+            GtvConfig { rounds, block_width: 64, embedding_dim: 32, ..GtvConfig::default() };
         let mut trainer = GtvTrainer::new(table.vertical_split(&groups), config);
         trainer.set_shuffling(shuffling);
-        trainer.train();
+        trainer.train().map_err(|e| e.to_string())?;
         let report = trainer.observer().reconstruction_accuracy(&trainer.column_truths());
         println!(
             "{} shuffling: server reconstruction accuracy {:.1}% over {} observed cells",
@@ -202,10 +212,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let demo_path = dir.join("demo.csv");
         let synth_path = dir.join("synth.csv");
-        let argv: Vec<String> = format!("demo --dataset loan --rows 120 --out {}", demo_path.display())
-            .split_whitespace()
-            .map(String::from)
-            .collect();
+        let argv: Vec<String> =
+            format!("demo --dataset loan --rows 120 --out {}", demo_path.display())
+                .split_whitespace()
+                .map(String::from)
+                .collect();
         run(&argv).unwrap();
         let argv: Vec<String> = format!(
             "synth --input {} --target personal_loan --rounds 2 --batch 16 --width 32 --out {}",

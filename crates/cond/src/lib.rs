@@ -94,18 +94,20 @@ impl ClientCondSampler {
             // CTGAN log-frequency: P(cat) ∝ log(1 + count); empty categories
             // can never be sampled (no matching row exists).
             let logs: Vec<f64> = counts.iter().map(|&c| ((1 + c) as f64).ln()).collect();
-            let total: f64 = logs
-                .iter()
-                .zip(&counts)
-                .filter(|(_, &c)| c > 0)
-                .map(|(l, _)| *l)
-                .sum();
+            let total: f64 =
+                logs.iter().zip(&counts).filter(|(_, &c)| c > 0).map(|(l, _)| *l).sum();
             let log_probs = logs
                 .iter()
                 .zip(&counts)
                 .map(|(l, &c)| if c > 0 && total > 0.0 { l / total } else { 0.0 })
                 .collect();
-            columns.push(CondColumn { column: ci, local_offset: offset, n_categories: k, log_probs, pools });
+            columns.push(CondColumn {
+                column: ci,
+                local_offset: offset,
+                n_categories: k,
+                log_probs,
+                pools,
+            });
             offset += k;
         }
         if columns.is_empty() {

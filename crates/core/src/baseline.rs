@@ -12,6 +12,7 @@
 use crate::config::{GtvConfig, NetPartition};
 use crate::trainer::{GtvTrainer, TrainHistory};
 use gtv_data::Table;
+use gtv_vfl::TransportError;
 
 /// Centralized baseline trainer.
 #[derive(Debug)]
@@ -34,17 +35,29 @@ impl CentralizedTrainer {
     }
 
     /// Runs the full configured training.
-    pub fn train(&mut self) {
-        self.inner.train();
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] hit by the protocol simulation.
+    pub fn train(&mut self) -> Result<(), TransportError> {
+        self.inner.train()
     }
 
     /// Runs one round.
-    pub fn train_round(&mut self) {
-        self.inner.train_round();
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CentralizedTrainer::train`].
+    pub fn train_round(&mut self) -> Result<(), TransportError> {
+        self.inner.train_round()
     }
 
     /// Generates `n` synthetic rows.
-    pub fn synthesize(&self, n: usize, seed: u64) -> Table {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if publishing a share fails.
+    pub fn synthesize(&self, n: usize, seed: u64) -> Result<Table, TransportError> {
         self.inner.synthesize(n, seed)
     }
 
@@ -63,8 +76,8 @@ mod tests {
     fn baseline_trains_and_synthesizes() {
         let table = Dataset::Loan.generate(100, 0);
         let mut trainer = CentralizedTrainer::new(table, GtvConfig::smoke());
-        trainer.train_round();
-        let synth = trainer.synthesize(30, 0);
+        trainer.train_round().unwrap();
+        let synth = trainer.synthesize(30, 0).unwrap();
         assert_eq!(synth.n_rows(), 30);
         assert_eq!(synth.n_cols(), 13);
         assert_eq!(trainer.history().g_loss.len(), 1);

@@ -161,7 +161,14 @@ impl GtvConfig {
     /// A small configuration for tests and examples (few rounds, narrow
     /// blocks).
     pub fn smoke() -> Self {
-        Self { rounds: 4, d_steps: 1, batch: 32, block_width: 64, embedding_dim: 16, ..Self::default() }
+        Self {
+            rounds: 4,
+            d_steps: 1,
+            batch: 32,
+            block_width: 64,
+            embedding_dim: 16,
+            ..Self::default()
+        }
     }
 
     /// Per-client block widths: `block_width` split proportionally to the

@@ -66,7 +66,8 @@ impl SplitGenerator {
             let mut blocks = Vec::with_capacity(config.partition.g_bottom);
             let mut d = slice_widths[i];
             for b in 0..config.partition.g_bottom {
-                let block = ResidualBlock::new(&format!("g.c{i}.b{b}"), d, per_client_width[i], rng);
+                let block =
+                    ResidualBlock::new(&format!("g.c{i}.b{b}"), d, per_client_width[i], rng);
                 d = block.out_dim();
                 blocks.push(block);
             }
@@ -79,7 +80,14 @@ impl SplitGenerator {
             ));
             client_blocks.push(blocks);
         }
-        Self { top_blocks, slice_widths, client_blocks, client_heads, client_spans, tau: config.gumbel_tau }
+        Self {
+            top_blocks,
+            slice_widths,
+            client_blocks,
+            client_heads,
+            client_spans,
+            tau: config.gumbel_tau,
+        }
     }
 
     /// Per-client slice widths of the `Split()` boundary.
@@ -134,7 +142,8 @@ impl SplitGenerator {
 
     /// Parameters of one client's part.
     pub fn client_params(&self, client: usize) -> Vec<Param> {
-        let mut p: Vec<Param> = self.client_blocks[client].iter().flat_map(|b| b.params()).collect();
+        let mut p: Vec<Param> =
+            self.client_blocks[client].iter().flat_map(|b| b.params()).collect();
         p.extend(self.client_heads[client].params());
         p
     }
@@ -193,7 +202,8 @@ mod tests {
 
     fn build(partition: crate::NetPartition) -> SplitGenerator {
         let mut rng = StdRng::seed_from_u64(0);
-        let config = GtvConfig { partition, block_width: 32, embedding_dim: 8, ..GtvConfig::smoke() };
+        let config =
+            GtvConfig { partition, block_width: 32, embedding_dim: 8, ..GtvConfig::smoke() };
         SplitGenerator::new(
             &config,
             12,
@@ -250,7 +260,8 @@ mod tests {
     fn param_partition_is_disjoint_and_complete() {
         let gen = build(crate::NetPartition::d2g0());
         let all = gen.params().len();
-        let split = gen.top_params().len() + gen.client_params(0).len() + gen.client_params(1).len();
+        let split =
+            gen.top_params().len() + gen.client_params(0).len() + gen.client_params(1).len();
         assert_eq!(all, split);
     }
 }

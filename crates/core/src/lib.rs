@@ -30,8 +30,8 @@
 //! let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
 //!
 //! let mut trainer = GtvTrainer::new(shards, GtvConfig::default());
-//! trainer.train();
-//! let synthetic = trainer.synthesize(1_000, 42);
+//! trainer.train().expect("transport is healthy");
+//! let synthetic = trainer.synthesize(1_000, 42).expect("transport is healthy");
 //! assert_eq!(synthetic.n_cols(), n);
 //! ```
 
@@ -50,3 +50,6 @@ pub use privacy::{
     column_truths, ClientIndexObserver, ColumnTruth, ReconstructionReport, ServerObserver,
 };
 pub use trainer::{GtvTrainer, TrainHistory};
+// The protocol error surface, re-exported so downstream users of the
+// trainer can match on it without depending on gtv-vfl directly.
+pub use gtv_vfl::TransportError;

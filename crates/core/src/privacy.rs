@@ -63,10 +63,7 @@ impl ServerObserver {
     /// that row/column pair was never observed.
     pub fn inferred_category(&self, row: usize, start: usize, width: usize) -> Option<usize> {
         let slice = &self.counts[row * self.width + start..row * self.width + start + width];
-        let (best, &count) = slice
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        let (best, &count) = slice.iter().enumerate().max_by_key(|(_, &c)| c)?;
         if count == 0 {
             None
         } else {
@@ -87,7 +84,9 @@ impl ServerObserver {
         let mut correct = 0usize;
         for col in truth {
             for row in 0..self.n_rows.min(col.categories.len()) {
-                if let Some(inferred) = self.inferred_category(row, col.bit_offset, col.n_categories) {
+                if let Some(inferred) =
+                    self.inferred_category(row, col.bit_offset, col.n_categories)
+                {
                     observed += 1;
                     if inferred == col.categories[row] as usize {
                         correct += 1;
@@ -236,7 +235,8 @@ mod tests {
         let mut obs = ServerObserver::new(4, 2);
         // True categories: [0, 0, 1, 1]; observed pairs are misaligned.
         obs.record(&[2, 3, 0, 1], &[0, 0, 1, 1]);
-        let truth = vec![ColumnTruth { bit_offset: 0, n_categories: 2, categories: vec![0, 0, 1, 1] }];
+        let truth =
+            vec![ColumnTruth { bit_offset: 0, n_categories: 2, categories: vec![0, 0, 1, 1] }];
         let r = obs.reconstruction_accuracy(&truth);
         assert_eq!(r.accuracy, 0.0);
     }

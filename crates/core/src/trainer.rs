@@ -17,7 +17,10 @@ use gtv_data::Table;
 use gtv_encoders::TableTransformer;
 use gtv_nn::{Adam, Ctx};
 use gtv_tensor::{Graph, Tensor, Var};
-use gtv_vfl::{negotiate_seed, MatrixPayload, Message, NetStats, Network, PartyId, SharedShuffler};
+use gtv_vfl::{
+    negotiate_seed, MatrixPayload, Message, NetStats, Network, PartyId, SharedShuffler,
+    TransportError,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,8 +61,8 @@ struct CondRound {
 /// let n = table.n_cols();
 /// let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
 /// let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
-/// trainer.train();
-/// let synthetic = trainer.synthesize(200, 1);
+/// trainer.train().expect("transport is healthy");
+/// let synthetic = trainer.synthesize(200, 1).expect("transport is healthy");
 /// assert_eq!(synthetic.n_rows(), 200);
 /// ```
 pub struct GtvTrainer {
@@ -125,7 +128,8 @@ impl GtvTrainer {
         // Clients encode their local columns (Algorithm 1, step 1).
         let mut clients = Vec::with_capacity(n_clients);
         for (i, table) in tables.iter().enumerate() {
-            let transformer = TableTransformer::fit(table, config.max_modes, config.seed.wrapping_add(i as u64));
+            let transformer =
+                TableTransformer::fit(table, config.max_modes, config.seed.wrapping_add(i as u64));
             let encoded = transformer.encode(table, config.seed.wrapping_add(1000 + i as u64));
             let sampler = ClientCondSampler::from_table(table);
             clients.push(ClientState {
@@ -144,16 +148,23 @@ impl GtvTrainer {
                 .collect(),
         );
         let total_cols: usize = tables.iter().map(Table::n_cols).sum();
-        let ratios: Vec<f64> = tables.iter().map(|t| t.n_cols() as f64 / total_cols as f64).collect();
+        let ratios: Vec<f64> =
+            tables.iter().map(|t| t.n_cols() as f64 / total_cols as f64).collect();
 
         let client_widths: Vec<usize> = clients.iter().map(|c| c.transformer.width()).collect();
         let client_spans: Vec<Vec<gtv_encoders::Span>> =
             clients.iter().map(|c| c.transformer.spans()).collect();
 
         let g_input = config.embedding_dim + layout.total_width();
-        let generator = SplitGenerator::new(&config, g_input, &ratios, &client_widths, client_spans, &mut rng);
-        let discriminator =
-            SplitDiscriminator::new(&config, &client_widths, &ratios, layout.total_width(), &mut rng);
+        let generator =
+            SplitGenerator::new(&config, g_input, &ratios, &client_widths, client_spans, &mut rng);
+        let discriminator = SplitDiscriminator::new(
+            &config,
+            &client_widths,
+            &ratios,
+            layout.total_width(),
+            &mut rng,
+        );
 
         let g_opt = Adam::new(gtv_nn::Module::params(&generator), config.adam);
         let d_opt = Adam::new(gtv_nn::Module::params(&discriminator), config.adam);
@@ -161,7 +172,9 @@ impl GtvTrainer {
         let network = Network::new(n_clients);
         // Clients negotiate the shared shuffle seed peer-to-peer; the server
         // never observes it (§3.1.5).
-        let seeds = negotiate_seed(&network, n_clients, config.seed.wrapping_add(7));
+        let seeds = negotiate_seed(&network, n_clients, config.seed.wrapping_add(7))
+            // gtv-lint: allow(panic) -- fresh in-process network, all inboxes open, no faults armed yet
+            .expect("seed negotiation on a fresh network");
         let shuffler = SharedShuffler::new(seeds[0]);
 
         let observer = ServerObserver::new(n_rows, layout.total_width());
@@ -242,9 +255,9 @@ impl GtvTrainer {
         self.shuffling_enabled = enabled;
     }
 
-    fn route(&self, from: PartyId, to: PartyId, msg: Message) -> Message {
-        self.network.send(from, to, msg);
-        self.network.recv(to).1
+    fn route(&self, from: PartyId, to: PartyId, msg: Message) -> Result<Message, TransportError> {
+        self.network.send(from, to, msg)?;
+        Ok(self.network.recv(to)?.1)
     }
 
     /// Server-side selection of the CV-constructing client `p ~ P_r` among
@@ -268,8 +281,10 @@ impl GtvTrainer {
 
     /// Steps 4/18 of Algorithm 1: CV construction by the selected client,
     /// upload of `(CV_p, idx_p)` to the server.
-    fn sample_condition(&mut self) -> Option<CondRound> {
-        let p = self.select_p()?;
+    fn sample_condition(&mut self) -> Result<Option<CondRound>, TransportError> {
+        let Some(p) = self.select_p() else {
+            return Ok(None);
+        };
         // Server notifies every client of the round and the selected
         // constructor.
         for i in 0..self.clients.len() {
@@ -277,13 +292,18 @@ impl GtvTrainer {
                 PartyId::Server,
                 PartyId::Client(i),
                 Message::RoundStart { round: self.step, selected: p as u32 },
-            );
+            )?;
         }
         let batch = self.config.batch;
         let client = &mut self.clients[p];
-        let sampler = client.sampler.as_ref().expect("selected client has a sampler");
+        let sampler = client
+            .sampler
+            .as_ref()
+            // gtv-lint: allow(panic) -- select_p only returns clients whose sampler is Some
+            .expect("selected client has a sampler");
         let cond = sampler.sample_batch(batch, &mut client.rng);
-        let cv = sampler.materialize(&cond.choices, self.layout.offset(p), self.layout.total_width());
+        let cv =
+            sampler.materialize(&cond.choices, self.layout.offset(p), self.layout.total_width());
         let indices_u32: Vec<u32> = cond.row_indices.iter().map(|&i| i as u32).collect();
         match self.config.index_sharing {
             IndexSharing::Server => {
@@ -293,28 +313,37 @@ impl GtvTrainer {
                     PartyId::Client(p),
                     PartyId::Server,
                     Message::CondUpload { cv: payload_of(&cv), indices: indices_u32 },
-                );
-                let Message::CondUpload { cv: cv_recv, indices } = delivered else {
-                    unreachable!("route returns the sent message type");
+                )?;
+                let (cv_recv, indices) = match delivered {
+                    Message::CondUpload { cv, indices } => (cv, indices),
+                    got => {
+                        return Err(TransportError::UnexpectedMessage {
+                            from: PartyId::Client(p),
+                            context: "conditional-vector upload",
+                            got,
+                        })
+                    }
                 };
                 // The server records what it just observed (the attack
                 // surface of Fig. 5).
-                let cv = Tensor::from_vec(cv_recv.rows as usize, cv_recv.cols as usize, cv_recv.data);
+                let cv =
+                    Tensor::from_vec(cv_recv.rows as usize, cv_recv.cols as usize, cv_recv.data);
                 let bits: Vec<usize> = (0..cv.rows())
                     .map(|r| {
                         cv.row_slice(r)
                             .iter()
                             .position(|&v| v == 1.0)
+                            // gtv-lint: allow(panic) -- materialize() writes exactly one 1.0 per row, and f32 values round-trip bit-exactly through the wire
                             .expect("conditional vector row must have a hot bit")
                     })
                     .collect();
                 self.observer.record(&indices, &bits);
-                Some(CondRound {
+                Ok(Some(CondRound {
                     p,
                     choices: cond.choices,
                     indices: indices.iter().map(|&i| i as usize).collect(),
                     cv,
-                })
+                }))
             }
             IndexSharing::PeerToPeer => {
                 // The rejected alternative (§3.1.6): the CV still goes to
@@ -324,7 +353,7 @@ impl GtvTrainer {
                     PartyId::Client(p),
                     PartyId::Server,
                     Message::CondUpload { cv: payload_of(&cv), indices: Vec::new() },
-                );
+                )?;
                 for j in 0..self.clients.len() {
                     if j == p {
                         continue;
@@ -333,9 +362,16 @@ impl GtvTrainer {
                         PartyId::Client(p),
                         PartyId::Client(j),
                         Message::IndexShare { indices: indices_u32.clone() },
-                    );
-                    let Message::IndexShare { indices } = delivered else {
-                        unreachable!("route returns the sent message type");
+                    )?;
+                    let indices = match delivered {
+                        Message::IndexShare { indices } => indices,
+                        got => {
+                            return Err(TransportError::UnexpectedMessage {
+                                from: PartyId::Client(p),
+                                context: "peer-to-peer index sharing",
+                                got,
+                            })
+                        }
                     };
                     // A curious client maps the indices back to individuals
                     // (it knows every shared shuffle) and mines frequencies.
@@ -343,7 +379,7 @@ impl GtvTrainer {
                         indices.iter().map(|&i| self.current_to_initial[i as usize]).collect();
                     self.client_observers[j].record(&initial);
                 }
-                Some(CondRound { p, choices: cond.choices, indices: cond.row_indices, cv })
+                Ok(Some(CondRound { p, choices: cond.choices, indices: cond.row_indices, cv }))
             }
         }
     }
@@ -351,7 +387,7 @@ impl GtvTrainer {
     /// Synthetic forward pass shared by both phases: noise + CV through
     /// `G^t`, `Split`, per-client `G_i^b` and `D_i^b`. Returns
     /// `(slices, head_logits, activations, synth_d_logits)`.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity)] // the 4-tuple mirrors Algorithm 1's named intermediates; a struct would be used once
     fn synthetic_path(
         &mut self,
         g: &Graph,
@@ -359,7 +395,7 @@ impl GtvTrainer {
         cv: Option<&Tensor>,
         batch: usize,
         detach_for_d: bool,
-    ) -> (Vec<Var>, Vec<Var>, Vec<Var>, Vec<Var>) {
+    ) -> Result<(Vec<Var>, Vec<Var>, Vec<Var>, Vec<Var>), TransportError> {
         let z = Tensor::randn(batch, self.config.embedding_dim, &mut self.rng);
         let g_in = match cv {
             Some(cv) => Tensor::concat_cols(&[&z, cv]),
@@ -376,8 +412,8 @@ impl GtvTrainer {
                 PartyId::Server,
                 PartyId::Client(i),
                 Message::GenSlice(payload_of(&g.value(slices[i]))),
-            );
-            let _ = self.network.recv(PartyId::Client(i));
+            )?;
+            let _ = self.network.recv(PartyId::Client(i))?;
             let (logits, act) = self.generator.client_forward(ctx, i, slices[i]);
             let act_for_d = if detach_for_d { g.detach(act) } else { act };
             let dl = self.discriminator.client_forward(ctx, i, act_for_d);
@@ -386,13 +422,13 @@ impl GtvTrainer {
                 PartyId::Client(i),
                 PartyId::Server,
                 Message::SynthLogits(payload_of(&g.value(dl))),
-            );
-            let _ = self.network.recv(PartyId::Server);
+            )?;
+            let _ = self.network.recv(PartyId::Server)?;
             head_logits.push(logits);
             activations.push(act_for_d);
             d_logits.push(dl);
         }
-        (slices, head_logits, activations, d_logits)
+        Ok((slices, head_logits, activations, d_logits))
     }
 
     /// §3.3 protection knob: Gaussian noise on an uploaded logit matrix.
@@ -407,16 +443,16 @@ impl GtvTrainer {
     }
 
     /// One discriminator step (Algorithm 1 steps 3–16).
-    fn d_step(&mut self) {
+    fn d_step(&mut self) -> Result<(), TransportError> {
         let g = Graph::new();
         let ctx = Ctx::train(&g, self.config.seed.wrapping_add(self.step * 3 + 1));
         self.step += 1;
         let batch = self.config.batch;
-        let cond = self.sample_condition();
+        let cond = self.sample_condition()?;
         let cv_t = cond.as_ref().map(|c| c.cv.clone());
 
         let (_, _, fake_acts, synth_logits) =
-            self.synthetic_path(&g, &ctx, cv_t.as_ref(), batch, true);
+            self.synthetic_path(&g, &ctx, cv_t.as_ref(), batch, true)?;
         let cv_fake = cv_t.as_ref().map(|t| g.leaf(t.clone()));
         let y_fake = self.discriminator.server_forward(&ctx, &synth_logits, cv_fake);
 
@@ -446,8 +482,8 @@ impl GtvTrainer {
                     PartyId::Client(i),
                     PartyId::Server,
                     Message::RealLogits(payload_of(&g.value(logits_full))),
-                );
-                let _ = self.network.recv(PartyId::Server);
+                )?;
+                let _ = self.network.recv(PartyId::Server)?;
                 real_logits.push(g.select_rows(logits_full, &indices));
             } else {
                 let leaf = g.leaf(selected_rows.clone());
@@ -457,8 +493,8 @@ impl GtvTrainer {
                     PartyId::Client(i),
                     PartyId::Server,
                     Message::RealLogits(payload_of(&g.value(logits))),
-                );
-                let _ = self.network.recv(PartyId::Server);
+                )?;
+                let _ = self.network.recv(PartyId::Server)?;
                 real_logits.push(logits);
             }
             real_rows.push(selected_rows);
@@ -509,24 +545,25 @@ impl GtvTrainer {
                 PartyId::Server,
                 PartyId::Client(client),
                 Message::GradLogits(payload_of(&g.value(*gv))),
-            );
-            let _ = self.network.recv(PartyId::Client(client));
+            )?;
+            let _ = self.network.recv(PartyId::Client(client))?;
         }
         self.d_opt.step();
         self.history.d_loss.push(g.value(d_loss).item());
+        Ok(())
     }
 
     /// One generator step (Algorithm 1 steps 18–22).
-    fn g_step(&mut self) {
+    fn g_step(&mut self) -> Result<(), TransportError> {
         let g = Graph::new();
         let ctx = Ctx::train(&g, self.config.seed.wrapping_add(self.step * 3 + 2));
         self.step += 1;
         let batch = self.config.batch;
-        let cond = self.sample_condition();
+        let cond = self.sample_condition()?;
         let cv_t = cond.as_ref().map(|c| c.cv.clone());
 
         let (slices, head_logits, _, synth_logits) =
-            self.synthetic_path(&g, &ctx, cv_t.as_ref(), batch, false);
+            self.synthetic_path(&g, &ctx, cv_t.as_ref(), batch, false)?;
         let cv_var = cv_t.as_ref().map(|t| g.leaf(t.clone()));
         let y_fake = self.discriminator.server_forward(&ctx, &synth_logits, cv_var);
         let mut g_loss = g.neg(g.mean_all(y_fake));
@@ -563,11 +600,12 @@ impl GtvTrainer {
                 PartyId::Server,
                 PartyId::Client(i),
                 Message::GradGenSlice(payload_of(&g.value(*gv))),
-            );
-            let _ = self.network.recv(PartyId::Client(i));
+            )?;
+            let _ = self.network.recv(PartyId::Client(i))?;
         }
         self.g_opt.step();
         self.history.g_loss.push(g.value(g_loss).item());
+        Ok(())
     }
 
     /// Step 23: every client shuffles its local data with the shared,
@@ -589,27 +627,43 @@ impl GtvTrainer {
 
     /// Runs one full round: `e` discriminator steps, one generator step and
     /// the end-of-round shuffle.
-    pub fn train_round(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] hit by any protocol exchange
+    /// (e.g. a dropped message under fault injection).
+    pub fn train_round(&mut self) -> Result<(), TransportError> {
         for _ in 0..self.config.d_steps {
-            self.d_step();
+            self.d_step()?;
         }
-        self.g_step();
+        self.g_step()?;
         self.end_of_round_shuffle();
         self.round += 1;
+        Ok(())
     }
 
     /// Runs `config.rounds` rounds.
-    pub fn train(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GtvTrainer::train_round`].
+    pub fn train(&mut self) -> Result<(), TransportError> {
         for _ in 0..self.config.rounds {
-            self.train_round();
+            self.train_round()?;
         }
+        Ok(())
     }
 
     /// Secure synthetic-data publication (§3.1.7): generates `n` rows,
     /// decodes each client's share locally, applies the shared publication
     /// shuffle and publishes the shares. Returns one table per client (all
     /// row-aligned).
-    pub fn synthesize_shares(&self, n: usize, seed: u64) -> Vec<Table> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if publishing a share to the public
+    /// board fails.
+    pub fn synthesize_shares(&self, n: usize, seed: u64) -> Result<Vec<Table>, TransportError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let batch = self.config.batch.max(1);
         let mut per_client: Vec<Vec<Tensor>> = vec![Vec::new(); self.clients.len()];
@@ -643,18 +697,22 @@ impl GtvTrainer {
                 PartyId::Client(i),
                 PartyId::Public,
                 Message::SyntheticShare(payload_of(&matrix)),
-            );
-            let _ = self.network.recv(PartyId::Public);
+            )?;
+            let _ = self.network.recv(PartyId::Public)?;
             shares.push(share);
         }
-        shares
+        Ok(shares)
     }
 
     /// Convenience: the horizontal concatenation of all published shares.
-    pub fn synthesize(&self, n: usize, seed: u64) -> Table {
-        let shares = self.synthesize_shares(n, seed);
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GtvTrainer::synthesize_shares`].
+    pub fn synthesize(&self, n: usize, seed: u64) -> Result<Table, TransportError> {
+        let shares = self.synthesize_shares(n, seed)?;
         let refs: Vec<&Table> = shares.iter().collect();
-        Table::hconcat(&refs)
+        Ok(Table::hconcat(&refs))
     }
 
     /// Exports every network weight (incl. batch-norm running statistics)
@@ -691,6 +749,7 @@ impl GtvTrainer {
             (0..self.clients.len()).filter(|&i| self.clients[i].sampler.is_some()).collect();
         let total: f64 = eligible.iter().map(|&i| self.ratios[i]).sum();
         let mut u = rng.gen::<f64>() * total;
+        // gtv-lint: allow(panic) -- total_width() > 0 implies at least one client contributed sampler width
         let mut p = *eligible.last().expect("layout nonzero implies an eligible client");
         for &i in &eligible {
             u -= self.ratios[i];
@@ -699,6 +758,7 @@ impl GtvTrainer {
                 break;
             }
         }
+        // gtv-lint: allow(panic) -- p is drawn from the eligible list, which filters on sampler.is_some()
         let sampler = self.clients[p].sampler.as_ref().expect("eligible client has a sampler");
         let choices = sampler.sample_batch_original(batch, rng);
         Some(sampler.materialize(&choices, self.layout.offset(p), self.layout.total_width()))
@@ -720,10 +780,10 @@ mod tests {
     fn trainer_runs_a_round_and_synthesizes() {
         let shards = two_client_shards(120);
         let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
-        trainer.train_round();
+        trainer.train_round().unwrap();
         assert_eq!(trainer.history().d_loss.len(), 1);
         assert_eq!(trainer.history().g_loss.len(), 1);
-        let synth = trainer.synthesize(50, 9);
+        let synth = trainer.synthesize(50, 9).unwrap();
         assert_eq!(synth.n_rows(), 50);
         assert_eq!(synth.n_cols(), 13);
     }
@@ -734,8 +794,8 @@ mod tests {
             let shards = two_client_shards(60);
             let config = GtvConfig { partition, ..GtvConfig::smoke() };
             let mut trainer = GtvTrainer::new(shards, config);
-            trainer.train_round();
-            let shares = trainer.synthesize_shares(10, 0);
+            trainer.train_round().unwrap();
+            let shares = trainer.synthesize_shares(10, 0).unwrap();
             assert_eq!(shares.len(), 2, "{partition}");
             assert_eq!(shares[0].n_rows(), 10, "{partition}");
         }
@@ -748,7 +808,7 @@ mod tests {
         let before = trainer.network_stats();
         // Seed negotiation happened at construction, peer-to-peer only.
         assert_eq!(before.server_bytes(), 0);
-        trainer.train_round();
+        trainer.train_round().unwrap();
         let after = trainer.network_stats();
         assert!(after.server_bytes() > 0, "protocol traffic must be metered");
         assert!(after.messages > before.messages);
@@ -758,7 +818,7 @@ mod tests {
     fn observer_accumulates_cv_index_pairs() {
         let shards = two_client_shards(80);
         let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
-        trainer.train_round();
+        trainer.train_round().unwrap();
         // smoke config: 1 d_step + 1 g_step, each samples a condition batch.
         assert_eq!(trainer.observer().observations(), 2 * 32);
     }
@@ -768,7 +828,7 @@ mod tests {
         let shards = two_client_shards(60);
         let config = GtvConfig { faithful_real_path: true, ..GtvConfig::smoke() };
         let mut trainer = GtvTrainer::new(shards, config);
-        trainer.train_round();
+        trainer.train_round().unwrap();
         // RealLogits messages from non-selected clients carry the full table
         // (60 rows), so the real-path traffic must exceed batch-only (32).
         let stats = trainer.network_stats();
@@ -778,14 +838,11 @@ mod tests {
     #[test]
     fn three_clients_supported() {
         let t = Dataset::Loan.generate(90, 0);
-        let shards = t.vertical_split(&[
-            (0..4).collect(),
-            (4..8).collect(),
-            (8..t.n_cols()).collect(),
-        ]);
+        let shards =
+            t.vertical_split(&[(0..4).collect(), (4..8).collect(), (8..t.n_cols()).collect()]);
         let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
-        trainer.train_round();
-        let synth = trainer.synthesize(20, 0);
+        trainer.train_round().unwrap();
+        let synth = trainer.synthesize(20, 0).unwrap();
         assert_eq!(synth.n_cols(), 13);
     }
 
@@ -793,14 +850,13 @@ mod tests {
     fn dp_noise_changes_training_but_runs() {
         let shards = two_client_shards(80);
         let mut clean = GtvTrainer::new(shards.clone(), GtvConfig::smoke());
-        clean.train_round();
-        let mut noisy = GtvTrainer::new(
-            shards,
-            GtvConfig { dp_noise_sigma: 0.5, ..GtvConfig::smoke() },
-        );
-        noisy.train_round();
+        clean.train_round().unwrap();
+        let mut noisy =
+            GtvTrainer::new(shards, GtvConfig { dp_noise_sigma: 0.5, ..GtvConfig::smoke() });
+        noisy.train_round().unwrap();
         assert_ne!(
-            clean.history().d_loss, noisy.history().d_loss,
+            clean.history().d_loss,
+            noisy.history().d_loss,
             "DP noise must perturb the loss trajectory"
         );
     }
@@ -814,7 +870,7 @@ mod tests {
             ..GtvConfig::smoke()
         };
         let mut t = GtvTrainer::new(shards, config);
-        t.train();
+        t.train().unwrap();
         // Server saw CVs but no indices → its reconstruction has nothing.
         assert_eq!(t.observer().observations(), 0);
         // At least one client accumulated the index stream.
@@ -825,13 +881,10 @@ mod tests {
     #[test]
     fn client_width_multipliers_change_model_shape() {
         let shards = two_client_shards(60);
-        let config = GtvConfig {
-            client_width_multipliers: vec![1.0, 3.0],
-            ..GtvConfig::smoke()
-        };
+        let config = GtvConfig { client_width_multipliers: vec![1.0, 3.0], ..GtvConfig::smoke() };
         let mut boosted = GtvTrainer::new(shards, config);
-        boosted.train_round();
-        let synth = boosted.synthesize(10, 0);
+        boosted.train_round().unwrap();
+        let synth = boosted.synthesize(10, 0).unwrap();
         assert_eq!(synth.n_cols(), 13);
     }
 
@@ -853,7 +906,11 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, _)| {
-                    ColumnData::Float((0..50).map(|r| ((r as f64) * 0.1 + i as f64 + seed as f64).sin()).collect())
+                    ColumnData::Float(
+                        (0..50)
+                            .map(|r| ((r as f64) * 0.1 + i as f64 + seed as f64).sin())
+                            .collect(),
+                    )
                 })
                 .collect();
             Table::new(Schema::new(metas, None), cols)
@@ -861,9 +918,9 @@ mod tests {
         let a = make(&["x1", "x2"], 0);
         let b = make(&["y1", "y2", "y3"], 1);
         let mut t = GtvTrainer::new(vec![a, b], GtvConfig::smoke());
-        t.train();
+        t.train().unwrap();
         assert_eq!(t.observer().observations(), 0, "no conditions can be observed");
-        let synth = t.synthesize(20, 0);
+        let synth = t.synthesize(20, 0).unwrap();
         assert_eq!(synth.n_cols(), 5);
         assert_eq!(synth.n_rows(), 20);
     }
@@ -872,15 +929,15 @@ mod tests {
     fn weights_roundtrip_reproduces_synthesis() {
         let shards = two_client_shards(80);
         let mut a = GtvTrainer::new(shards.clone(), GtvConfig::smoke());
-        a.train();
+        a.train().unwrap();
         let dict = a.save_weights();
         assert!(dict.len() > 10, "dict should hold every layer");
         // A fresh trainer with the same construction seed but untrained
         // weights produces different output until the weights are loaded.
         let mut b = GtvTrainer::new(shards, GtvConfig::smoke());
-        assert_ne!(a.synthesize(20, 5), b.synthesize(20, 5));
+        assert_ne!(a.synthesize(20, 5).unwrap(), b.synthesize(20, 5).unwrap());
         b.load_weights(&dict).unwrap();
-        assert_eq!(a.synthesize(20, 5), b.synthesize(20, 5));
+        assert_eq!(a.synthesize(20, 5).unwrap(), b.synthesize(20, 5).unwrap());
     }
 
     #[test]

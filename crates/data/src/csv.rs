@@ -77,7 +77,10 @@ pub fn from_csv_string(text: &str, schema: &Schema) -> Result<Table, ParseCsvErr
     let names: Vec<&str> = header.split(',').collect();
     let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
     if names != expected {
-        return Err(ParseCsvError { line: 1, message: format!("header {names:?} does not match schema {expected:?}") });
+        return Err(ParseCsvError {
+            line: 1,
+            message: format!("header {names:?} does not match schema {expected:?}"),
+        });
     }
 
     let mut columns: Vec<ColumnData> = schema
@@ -103,16 +106,23 @@ pub fn from_csv_string(text: &str, schema: &Schema) -> Result<Table, ParseCsvErr
         for (ci, cell) in cells.iter().enumerate() {
             match (&schema.column(ci).kind, &mut columns[ci]) {
                 (ColumnKind::Categorical { categories }, ColumnData::Cat(v)) => {
-                    let idx = categories.iter().position(|c| c == cell).ok_or_else(|| ParseCsvError {
-                        line: li + 2,
-                        message: format!("unknown category '{cell}' in column '{}'", schema.column(ci).name),
-                    })?;
+                    let idx =
+                        categories.iter().position(|c| c == cell).ok_or_else(|| ParseCsvError {
+                            line: li + 2,
+                            message: format!(
+                                "unknown category '{cell}' in column '{}'",
+                                schema.column(ci).name
+                            ),
+                        })?;
                     v.push(idx as u32);
                 }
                 (_, ColumnData::Float(v)) => {
                     let val: f64 = cell.parse().map_err(|_| ParseCsvError {
                         line: li + 2,
-                        message: format!("invalid number '{cell}' in column '{}'", schema.column(ci).name),
+                        message: format!(
+                            "invalid number '{cell}' in column '{}'",
+                            schema.column(ci).name
+                        ),
                     })?;
                     v.push(val);
                 }
@@ -186,9 +196,13 @@ pub fn infer_schema(text: &str, target: Option<&str>) -> Result<Schema, ParseCsv
             let kind = if numeric[ci] && !force_categorical {
                 let heaviest = numeric_counts[ci].iter().max_by_key(|(_, &c)| c);
                 match heaviest {
-                    Some((v, &c)) if c >= 3 && c * 4 >= rows && vocab[ci].len() > 1 => ColumnKind::Mixed {
-                        special_values: vec![v.parse::<f64>().expect("numeric column cell parses")],
-                    },
+                    Some((v, &c)) if c >= 3 && c * 4 >= rows && vocab[ci].len() > 1 => {
+                        ColumnKind::Mixed {
+                            special_values: vec![v
+                                .parse::<f64>()
+                                .expect("numeric column cell parses")],
+                        }
+                    }
                     _ => ColumnKind::Continuous,
                 }
             } else {
@@ -224,10 +238,7 @@ mod tests {
             ],
             None,
         );
-        Table::new(
-            schema,
-            vec![ColumnData::Float(vec![1.5, -2.0]), ColumnData::Cat(vec![1, 0])],
-        )
+        Table::new(schema, vec![ColumnData::Float(vec![1.5, -2.0]), ColumnData::Cat(vec![1, 0])])
     }
 
     #[test]

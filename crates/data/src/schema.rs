@@ -1,11 +1,9 @@
 //! Column and table schemas.
 
-use serde::{Deserialize, Serialize};
-
 /// The statistical type of a column, which decides how it is encoded for GAN
 /// training (one-hot, mode-specific normalization, or the CTAB-GAN
 /// mixed-type encoding).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColumnKind {
     /// Discrete column with a fixed category vocabulary.
     Categorical {
@@ -53,7 +51,7 @@ impl ColumnKind {
 }
 
 /// Metadata for one column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMeta {
     /// Column name.
     pub name: String,
@@ -70,7 +68,7 @@ impl ColumnMeta {
 
 /// A table schema: ordered columns plus an optional target column used by the
 /// ML-utility evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     columns: Vec<ColumnMeta>,
     target: Option<usize>,
@@ -128,9 +126,7 @@ impl Schema {
     /// it is among them.
     pub fn project(&self, indices: &[usize]) -> Schema {
         let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
-        let target = self
-            .target
-            .and_then(|t| indices.iter().position(|&i| i == t));
+        let target = self.target.and_then(|t| indices.iter().position(|&i| i == t));
         Schema { columns, target }
     }
 

@@ -217,7 +217,8 @@ impl SynthSpec {
                     metas.push(ColumnMeta::new(&col.name, ColumnKind::Continuous));
                 }
                 SynthKind::Categorical { n } => {
-                    let (lw, lb) = model.cat_logits[ci].as_ref().expect("categorical column has logits");
+                    let (lw, lb) =
+                        model.cat_logits[ci].as_ref().expect("categorical column has logits");
                     let vals = factors
                         .iter()
                         .map(|z| {
@@ -227,7 +228,8 @@ impl SynthSpec {
                         })
                         .collect();
                     columns.push(ColumnData::Cat(vals));
-                    let labels: Vec<String> = (0..*n).map(|c| format!("{}_{c}", col.name)).collect();
+                    let labels: Vec<String> =
+                        (0..*n).map(|c| format!("{}_{c}", col.name)).collect();
                     metas.push(ColumnMeta::new(&col.name, ColumnKind::categorical(labels)));
                 }
                 SynthKind::Mixed { special, special_prob, scale, offset } => {

@@ -6,11 +6,10 @@ use crate::schema::{ColumnKind, Schema};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The data of a single column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
     /// Real values (used by continuous and mixed columns).
     Float(Vec<f64>),
@@ -87,7 +86,7 @@ impl ColumnData {
 /// );
 /// assert_eq!(table.n_rows(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: Schema,
     columns: Vec<ColumnData>,
@@ -156,9 +155,7 @@ impl Table {
 
     /// Number of target classes, if the schema declares a target.
     pub fn n_target_classes(&self) -> Option<usize> {
-        self.schema
-            .target()
-            .and_then(|t| self.schema.column(t).kind.n_categories())
+        self.schema.target().and_then(|t| self.schema.column(t).kind.n_categories())
     }
 
     /// New table with the given rows (indices may repeat).

@@ -42,7 +42,11 @@ impl Gmm1d {
 
         // Degenerate (constant) column: one tight component.
         if range < 1e-12 {
-            return Self { weights: vec![1.0], means: vec![lo], stds: vec![1e-6_f64.max(lo.abs() * 1e-6)] };
+            return Self {
+                weights: vec![1.0],
+                means: vec![lo],
+                stds: vec![1e-6_f64.max(lo.abs() * 1e-6)],
+            };
         }
 
         let k = max_components.min(data.len());
@@ -245,12 +249,8 @@ mod tests {
         let data = bimodal(1000, 2);
         let gmm = Gmm1d::fit(&data, 4, 0);
         let resp = gmm.responsibilities(-5.0);
-        let best = resp
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let best =
+            resp.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert!((gmm.means()[best] + 5.0).abs() < 1.0);
     }
 

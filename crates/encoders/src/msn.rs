@@ -97,11 +97,8 @@ impl MixedEncoder {
     /// single-mode GMM is fitted on the special values themselves.
     pub fn fit(data: &[f64], specials: &[f64], max_modes: usize, seed: u64) -> Self {
         assert!(!data.is_empty(), "cannot fit a mixed encoder to empty data");
-        let continuous: Vec<f64> = data
-            .iter()
-            .copied()
-            .filter(|v| !specials.iter().any(|s| close(*s, *v)))
-            .collect();
+        let continuous: Vec<f64> =
+            data.iter().copied().filter(|v| !specials.iter().any(|s| close(*s, *v))).collect();
         let fit_data = if continuous.is_empty() { data.to_vec() } else { continuous };
         Self {
             specials: specials.to_vec(),
@@ -180,7 +177,13 @@ mod tests {
 
     fn bimodal(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if i % 2 == 0 { -10.0 + (i % 7) as f64 * 0.1 } else { 10.0 + (i % 5) as f64 * 0.1 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    -10.0 + (i % 7) as f64 * 0.1
+                } else {
+                    10.0 + (i % 5) as f64 * 0.1
+                }
+            })
             .collect()
     }
 

@@ -248,7 +248,13 @@ impl TableTransformer {
     ///
     /// Panics if the matrix width differs from [`TableTransformer::width`].
     pub fn decode(&self, matrix: &Tensor) -> Table {
-        assert_eq!(matrix.cols(), self.width, "matrix width {} != encoded width {}", matrix.cols(), self.width);
+        assert_eq!(
+            matrix.cols(),
+            self.width,
+            "matrix width {} != encoded width {}",
+            matrix.cols(),
+            self.width
+        );
         let n = matrix.rows();
         let mut columns: Vec<ColumnData> = Vec::with_capacity(self.encoders.len());
         for (ci, enc) in self.encoders.iter().enumerate() {
@@ -303,7 +309,8 @@ mod tests {
         );
         let x: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { -4.0 } else { 4.0 }).collect();
         let g: Vec<u32> = (0..60).map(|i| (i % 3) as u32).collect();
-        let m: Vec<f64> = (0..60).map(|i| if i % 4 == 0 { 0.0 } else { 2.0 + (i % 5) as f64 }).collect();
+        let m: Vec<f64> =
+            (0..60).map(|i| if i % 4 == 0 { 0.0 } else { 2.0 + (i % 5) as f64 }).collect();
         Table::new(schema, vec![ColumnData::Float(x), ColumnData::Cat(g), ColumnData::Float(m)])
     }
 

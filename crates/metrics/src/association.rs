@@ -8,10 +8,10 @@ use gtv_data::{ColumnData, Table};
 /// Pearson correlation coefficient. Returns 0 when either side is constant.
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "sample length mismatch");
-    let n = x.len() as f64;
-    if n == 0.0 {
+    if x.is_empty() {
         return 0.0;
     }
+    let n = x.len() as f64;
     let mx = x.iter().sum::<f64>() / n;
     let my = y.iter().sum::<f64>() / n;
     let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
@@ -33,10 +33,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
 /// variable (`0` = no association, `1` = perfectly determined).
 pub fn correlation_ratio(groups: &[u32], values: &[f64], n_groups: usize) -> f64 {
     assert_eq!(groups.len(), values.len(), "sample length mismatch");
-    let n = values.len() as f64;
-    if n == 0.0 {
+    if values.is_empty() {
         return 0.0;
     }
+    let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;
     let mut group_sum = vec![0.0f64; n_groups];
     let mut group_n = vec![0.0f64; n_groups];
@@ -63,10 +63,10 @@ pub fn correlation_ratio(groups: &[u32], values: &[f64], n_groups: usize) -> f64
 /// bias correction dython applies.
 pub fn cramers_v(x: &[u32], y: &[u32], kx: usize, ky: usize) -> f64 {
     assert_eq!(x.len(), y.len(), "sample length mismatch");
-    let n = x.len() as f64;
-    if n == 0.0 || kx < 2 || ky < 2 {
+    if x.is_empty() || kx < 2 || ky < 2 {
         return 0.0;
     }
+    let n = x.len() as f64;
     let mut table = vec![0.0f64; kx * ky];
     let mut row = vec![0.0f64; kx];
     let mut col = vec![0.0f64; ky];
@@ -149,9 +149,7 @@ pub fn cross_associations(a: &Table, b: &Table) -> Vec<Vec<f64>> {
     assert_eq!(a.n_rows(), b.n_rows(), "tables must be row-aligned");
     let va: Vec<ColView<'_>> = (0..a.n_cols()).map(|i| view(a, i)).collect();
     let vb: Vec<ColView<'_>> = (0..b.n_cols()).map(|i| view(b, i)).collect();
-    va.iter()
-        .map(|x| vb.iter().map(|y| pair_association(x, y)).collect())
-        .collect()
+    va.iter().map(|x| vb.iter().map(|y| pair_association(x, y)).collect()).collect()
 }
 
 /// Frobenius (`ℓ²`) norm of the elementwise difference of two matrices.
@@ -226,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(clippy::needless_range_loop)]
+    #[allow(clippy::needless_range_loop)] // (i, j) indexing mirrors the matrix symmetry being asserted
     fn association_matrix_is_symmetric_unit_diagonal() {
         let t = demo_table();
         let m = associations(&t);

@@ -29,7 +29,7 @@ mod mia;
 mod similarity;
 
 pub use association::{
-    associations, cramers_v, correlation_ratio, cross_associations, matrix_l2_diff, pearson,
+    associations, correlation_ratio, cramers_v, cross_associations, matrix_l2_diff, pearson,
 };
 pub use divergence::{jsd, wasserstein_1d};
 pub use mia::{membership_inference, MiaReport};

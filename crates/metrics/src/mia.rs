@@ -67,14 +67,7 @@ fn continuous_stats(table: &Table) -> Vec<(f64, f64)> {
 fn min_distance(point: &[f64], cloud: &[Vec<f64>]) -> f64 {
     cloud
         .iter()
-        .map(|c| {
-            point
-                .iter()
-                .zip(c)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt()
-        })
+        .map(|c| point.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt())
         .fold(f64::INFINITY, f64::min)
 }
 

@@ -86,11 +86,7 @@ pub fn diff_corr(real: &Table, synthetic: &Table) -> f64 {
 pub fn avg_client_diff_corr(real_parts: &[Table], synth_parts: &[Table]) -> f64 {
     assert_eq!(real_parts.len(), synth_parts.len(), "shard count mismatch");
     assert!(!real_parts.is_empty(), "need at least one shard");
-    let total: f64 = real_parts
-        .iter()
-        .zip(synth_parts)
-        .map(|(r, s)| diff_corr(r, s))
-        .sum();
+    let total: f64 = real_parts.iter().zip(synth_parts).map(|(r, s)| diff_corr(r, s)).sum();
     total / real_parts.len() as f64
 }
 
@@ -181,7 +177,12 @@ mod tests {
         let synth_parts = s.vertical_split(&groups);
         let avg = avg_client_diff_corr(&real_parts, &synth_parts);
         assert!(avg > 0.0);
-        let across = across_client_diff_corr(&real_parts[0], &real_parts[1], &synth_parts[0], &synth_parts[1]);
+        let across = across_client_diff_corr(
+            &real_parts[0],
+            &real_parts[1],
+            &synth_parts[0],
+            &synth_parts[1],
+        );
         assert!(across >= 0.0);
         // Identity case.
         assert_eq!(avg_client_diff_corr(&real_parts, &real_parts), 0.0);

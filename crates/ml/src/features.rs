@@ -80,11 +80,7 @@ impl Featurizer {
 
     /// Number of target classes.
     pub fn n_classes(&self) -> usize {
-        self.schema
-            .column(self.target)
-            .kind
-            .n_categories()
-            .expect("target is categorical")
+        self.schema.column(self.target).kind.n_categories().expect("target is categorical")
     }
 
     /// Per-column feature spans.

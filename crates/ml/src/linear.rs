@@ -243,7 +243,8 @@ mod tests {
             y.push(c as u32);
         }
         let x = DMatrix::from_vec(300, 1, data);
-        let mut m = LogisticRegression::new(LinearConfig { epochs: 120, lr: 0.3, ..Default::default() });
+        let mut m =
+            LogisticRegression::new(LinearConfig { epochs: 120, lr: 0.3, ..Default::default() });
         m.fit(&x, &y, 3);
         assert!(accuracy(&m.predict(&x), &y) > 0.95);
     }

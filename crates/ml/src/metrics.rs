@@ -23,16 +23,17 @@ pub fn macro_f1(pred: &[u32], truth: &[u32], n_classes: usize) -> f64 {
     let mut f1_sum = 0.0;
     let mut present = 0usize;
     for c in 0..n_classes as u32 {
-        let tp = pred.iter().zip(truth).filter(|(&p, &t)| p == c && t == c).count() as f64;
-        let fp = pred.iter().zip(truth).filter(|(&p, &t)| p == c && t != c).count() as f64;
-        let fn_ = pred.iter().zip(truth).filter(|(&p, &t)| p != c && t == c).count() as f64;
-        if tp + fn_ == 0.0 {
+        let tp = pred.iter().zip(truth).filter(|(&p, &t)| p == c && t == c).count();
+        let fp = pred.iter().zip(truth).filter(|(&p, &t)| p == c && t != c).count();
+        let fn_ = pred.iter().zip(truth).filter(|(&p, &t)| p != c && t == c).count();
+        if tp + fn_ == 0 {
             continue; // class absent from truth
         }
         present += 1;
-        if tp == 0.0 {
+        if tp == 0 {
             continue;
         }
+        let (tp, fp, fn_) = (tp as f64, fp as f64, fn_ as f64);
         let precision = tp / (tp + fp);
         let recall = tp / (tp + fn_);
         f1_sum += 2.0 * precision * recall / (precision + recall);
@@ -68,12 +69,7 @@ fn binary_auc(scores: &[f64], positive: &[bool]) -> Option<f64> {
         }
         i = j + 1;
     }
-    let rank_sum: f64 = ranks
-        .iter()
-        .zip(positive)
-        .filter(|(_, &p)| p)
-        .map(|(r, _)| *r)
-        .sum();
+    let rank_sum: f64 = ranks.iter().zip(positive).filter(|(_, &p)| p).map(|(r, _)| *r).sum();
     let auc = (rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64;
     Some(auc)
 }
@@ -131,12 +127,7 @@ mod tests {
 
     #[test]
     fn auc_perfect_separation() {
-        let proba = vec![
-            vec![0.9, 0.1],
-            vec![0.8, 0.2],
-            vec![0.2, 0.8],
-            vec![0.1, 0.9],
-        ];
+        let proba = vec![vec![0.9, 0.1], vec![0.8, 0.2], vec![0.2, 0.8], vec![0.1, 0.9]];
         let truth = [0, 0, 1, 1];
         assert_eq!(macro_auc(&proba, &truth, 2), 1.0);
     }

@@ -66,11 +66,22 @@ impl Classifier for MlpClassifier {
         assert!(x.rows() > 0, "cannot fit on empty data");
         self.n_classes = n_classes;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let l1 = Linear::new("mlp.l1", x.cols(), self.config.hidden, Init::KaimingUniform, &mut rng);
-        let l2 = Linear::new("mlp.l2", self.config.hidden, n_classes, Init::KaimingUniform, &mut rng);
+        let l1 =
+            Linear::new("mlp.l1", x.cols(), self.config.hidden, Init::KaimingUniform, &mut rng);
+        let l2 =
+            Linear::new("mlp.l2", self.config.hidden, n_classes, Init::KaimingUniform, &mut rng);
         let mut params = l1.params();
         params.extend(l2.params());
-        let mut opt = Adam::new(params, AdamConfig { lr: self.config.lr, beta1: 0.9, beta2: 0.999, weight_decay: 0.0, ..Default::default() });
+        let mut opt = Adam::new(
+            params,
+            AdamConfig {
+                lr: self.config.lr,
+                beta1: 0.9,
+                beta2: 0.999,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         self.layers = Some((l1, l2));
 
         let mut order: Vec<usize> = (0..x.rows()).collect();

@@ -109,12 +109,7 @@ pub fn shapley_importance(table: &Table, config: ShapleyConfig) -> Vec<f64> {
 pub fn importance_ranking(table: &Table, config: ShapleyConfig) -> Vec<usize> {
     let f = Featurizer::fit(table);
     let phi = shapley_importance(table, config);
-    let mut cols: Vec<(usize, f64)> = f
-        .spans()
-        .iter()
-        .map(|s| s.column)
-        .zip(phi)
-        .collect();
+    let mut cols: Vec<(usize, f64)> = f.spans().iter().map(|s| s.column).zip(phi).collect();
     cols.sort_by(|a, b| b.1.total_cmp(&a.1));
     cols.into_iter().map(|(c, _)| c).collect()
 }
@@ -145,7 +140,10 @@ mod tests {
             noise.push(((i * 29) % 17) as f64 * 0.1 - 0.8);
             y.push(label);
         }
-        Table::new(schema, vec![ColumnData::Float(signal), ColumnData::Float(noise), ColumnData::Cat(y)])
+        Table::new(
+            schema,
+            vec![ColumnData::Float(signal), ColumnData::Float(noise), ColumnData::Cat(y)],
+        )
     }
 
     #[test]

@@ -113,11 +113,8 @@ impl DecisionTree {
                     continue; // no threshold between equal values
                 }
                 let right_n = n - left_n;
-                let right_counts: Vec<f64> = total_counts
-                    .iter()
-                    .zip(&left_counts)
-                    .map(|(t, l)| t - l)
-                    .collect();
+                let right_counts: Vec<f64> =
+                    total_counts.iter().zip(&left_counts).map(|(t, l)| t - l).collect();
                 let gini = (left_n * Self::gini_from_counts(&left_counts, left_n)
                     + right_n * Self::gini_from_counts(&right_counts, right_n))
                     / n;
@@ -130,7 +127,14 @@ impl DecisionTree {
         best.filter(|(_, _, d)| *d > 1e-12)
     }
 
-    fn build(&mut self, x: &DMatrix, y: &[u32], idx: &[usize], depth: usize, rng: &mut StdRng) -> usize {
+    fn build(
+        &mut self,
+        x: &DMatrix,
+        y: &[u32],
+        idx: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
         if depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
             return self.leaf(y, idx);
         }

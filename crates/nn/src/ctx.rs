@@ -26,13 +26,23 @@ impl fmt::Debug for Ctx<'_> {
 impl<'g> Ctx<'g> {
     /// Creates a training-mode context.
     pub fn train(g: &'g Graph, seed: u64) -> Self {
-        Self { g, binder: ParamBinder::new(), rng: RefCell::new(StdRng::seed_from_u64(seed)), train: true }
+        Self {
+            g,
+            binder: ParamBinder::new(),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            train: true,
+        }
     }
 
     /// Creates an inference-mode context (dropout off, batch-norm uses
     /// running statistics).
     pub fn eval(g: &'g Graph, seed: u64) -> Self {
-        Self { g, binder: ParamBinder::new(), rng: RefCell::new(StdRng::seed_from_u64(seed)), train: false }
+        Self {
+            g,
+            binder: ParamBinder::new(),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            train: false,
+        }
     }
 
     /// The graph being built.

@@ -182,13 +182,17 @@ impl Dropout {
         let (rows, cols) = g.shape(x);
         let keep = 1.0 - self.p;
         let mask = ctx.with_rng(|rng| {
-            Tensor::from_fn(rows, cols, |_, _| {
-                if rng.gen::<f32>() < keep {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            })
+            Tensor::from_fn(
+                rows,
+                cols,
+                |_, _| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                },
+            )
         });
         let mask = g.leaf(mask);
         g.mul(x, mask)

@@ -36,9 +36,7 @@ impl Param {
     /// Creates a parameter with the given debug name and initial value.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.rows(), value.cols());
-        Self {
-            inner: Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })),
-        }
+        Self { inner: Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })) }
     }
 
     /// Debug name.

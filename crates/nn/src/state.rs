@@ -62,10 +62,7 @@ impl StateDict {
     /// Panics if the name is already present (names must be unique).
     pub fn insert(&mut self, name: impl Into<String>, tensor: Tensor) {
         let name = name.into();
-        assert!(
-            self.map.insert(name.clone(), tensor).is_none(),
-            "duplicate state entry '{name}'"
-        );
+        assert!(self.map.insert(name.clone(), tensor).is_none(), "duplicate state entry '{name}'");
     }
 
     /// Fetches a tensor by name, checking its shape.
@@ -128,7 +125,8 @@ impl StateDict {
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let mut dict = StateDict::new();
         for _ in 0..count {
-            let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+            let name_len =
+                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
             let name = std::str::from_utf8(take(&mut pos, name_len)?)
                 .map_err(|_| err("entry name is not UTF-8"))?
                 .to_string();

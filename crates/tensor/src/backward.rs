@@ -186,7 +186,8 @@ impl Graph {
                     self.accumulate(&mut adj, x.0, gx);
                 }
                 Op::LeakyRelu(x, alpha) => {
-                    let mask = self.with_value(x, |t| t.map(|v| if v >= 0.0 { 1.0 } else { alpha }));
+                    let mask =
+                        self.with_value(x, |t| t.map(|v| if v >= 0.0 { 1.0 } else { alpha }));
                     let mask = self.leaf(mask);
                     let gx = self.mul(g_out, mask);
                     self.accumulate(&mut adj, x.0, gx);
@@ -478,10 +479,7 @@ mod tests {
         let s = g.select_rows(x, &[0, 0, 2]);
         let y = g.sum_all(s);
         let dx = g.grad(y, &[x])[0];
-        assert_eq!(
-            g.value(dx),
-            Tensor::from_rows(&[&[2.0, 2.0], &[0.0, 0.0], &[1.0, 1.0]])
-        );
+        assert_eq!(g.value(dx), Tensor::from_rows(&[&[2.0, 2.0], &[0.0, 0.0], &[1.0, 1.0]]));
     }
 
     #[test]

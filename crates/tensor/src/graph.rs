@@ -286,11 +286,7 @@ impl Graph {
 
     /// Elementwise leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, x: Var, alpha: f32) -> Var {
-        self.unary(
-            x,
-            |t| t.map(|v| if v >= 0.0 { v } else { alpha * v }),
-            Op::LeakyRelu(x, alpha),
-        )
+        self.unary(x, |t| t.map(|v| if v >= 0.0 { v } else { alpha * v }), Op::LeakyRelu(x, alpha))
     }
 
     /// Horizontal concatenation.

@@ -196,7 +196,12 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -206,7 +211,12 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -221,7 +231,13 @@ impl Tensor {
     ///
     /// Panics if the tensor is not `1×1`.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor, got {}x{}", self.rows, self.cols);
+        assert_eq!(
+            self.shape(),
+            (1, 1),
+            "item() requires a 1x1 tensor, got {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -274,12 +290,7 @@ impl Tensor {
         let (rows, cols) = self.broadcast_shape(other);
         // Fast path: identical shapes.
         if self.shape() == other.shape() {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
             return Self::from_vec(rows, cols, data);
         }
         let mut data = Vec::with_capacity(rows * cols);
@@ -380,9 +391,7 @@ impl Tensor {
 
     /// Row sums: `(n×m) → (n×1)`.
     pub fn sum_cols(&self) -> Self {
-        let out = (0..self.rows)
-            .map(|r| self.row_slice(r).iter().sum())
-            .collect();
+        let out = (0..self.rows).map(|r| self.row_slice(r).iter().sum()).collect();
         Self::from_vec(self.rows, 1, out)
     }
 
@@ -456,7 +465,12 @@ impl Tensor {
     ///
     /// Panics if the range exceeds the column count.
     pub fn slice_cols(&self, start: usize, width: usize) -> Self {
-        assert!(start + width <= self.cols, "slice_cols {start}..{} out of {} cols", start + width, self.cols);
+        assert!(
+            start + width <= self.cols,
+            "slice_cols {start}..{} out of {} cols",
+            start + width,
+            self.cols
+        );
         let mut data = Vec::with_capacity(self.rows * width);
         for r in 0..self.rows {
             let base = r * self.cols + start;
@@ -523,11 +537,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

@@ -20,7 +20,7 @@
 //! use gtv_vfl::{negotiate_seed, Network, SharedShuffler};
 //!
 //! let net = Network::new(2);
-//! let seeds = negotiate_seed(&net, 2, 42);
+//! let seeds = negotiate_seed(&net, 2, 42).expect("transport is healthy");
 //! assert_eq!(seeds[0], seeds[1]);
 //! let shuffler = SharedShuffler::new(seeds[0]);
 //! let p = shuffler.permutation(10, 0);
@@ -38,5 +38,5 @@ mod wire;
 pub use partition::{ratio_vector, split_widths, PartitionPlan};
 pub use psi::{psi_align, PsiAlignment};
 pub use shuffle::{negotiate_seed, round_seed, SharedShuffler};
-pub use transport::{Fault, NetStats, Network, PartyId, RecvMessageError};
+pub use transport::{Fault, NetStats, Network, PartyId, TransportError};
 pub use wire::{DecodeMessageError, MatrixPayload, Message};

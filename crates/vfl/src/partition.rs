@@ -88,11 +88,13 @@ impl PartitionPlan {
             }
             PartitionPlan::ByImportance { important_frac } => {
                 let target = target.expect("ByImportance requires a target column");
-                let ranking = importance_ranking.expect("ByImportance requires an importance ranking");
+                let ranking =
+                    importance_ranking.expect("ByImportance requires an importance ranking");
                 let n_features = n_cols - 1;
                 assert_eq!(ranking.len(), n_features, "ranking must cover every feature column");
-                let k = ((n_features as f64) * important_frac).round().clamp(1.0, (n_features - 1) as f64)
-                    as usize;
+                let k = ((n_features as f64) * important_frac)
+                    .round()
+                    .clamp(1.0, (n_features - 1) as f64) as usize;
                 let mut top: Vec<usize> = ranking[..k].to_vec();
                 let mut rest: Vec<usize> = ranking[k..].to_vec();
                 // Target lives with the *less* important features (paper:
@@ -139,7 +141,8 @@ pub fn ratio_vector(groups: &[Vec<usize>]) -> Vec<f64> {
 pub fn split_widths(total: usize, ratios: &[f64]) -> Vec<usize> {
     assert!(!ratios.is_empty(), "ratios must be non-empty");
     assert!(total >= ratios.len(), "total width {total} too small for {} parts", ratios.len());
-    let mut widths: Vec<usize> = ratios.iter().map(|r| ((total as f64) * r).floor().max(1.0) as usize).collect();
+    let mut widths: Vec<usize> =
+        ratios.iter().map(|r| ((total as f64) * r).floor().max(1.0) as usize).collect();
     // Fix rounding drift while keeping proportionality.
     let mut diff = total as isize - widths.iter().sum::<usize>() as isize;
     let mut order: Vec<usize> = (0..ratios.len()).collect();
@@ -171,19 +174,26 @@ mod tests {
 
     #[test]
     fn random_even_is_a_partition() {
-        let groups = PartitionPlan::RandomEven { n_clients: 3, seed: 1 }.column_groups(10, None, None);
+        let groups =
+            PartitionPlan::RandomEven { n_clients: 3, seed: 1 }.column_groups(10, None, None);
         let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
-        assert_eq!(groups.iter().map(Vec::len).max().unwrap() - groups.iter().map(Vec::len).min().unwrap(), 1);
+        assert_eq!(
+            groups.iter().map(Vec::len).max().unwrap() - groups.iter().map(Vec::len).min().unwrap(),
+            1
+        );
     }
 
     #[test]
     fn by_importance_places_target_with_less_important() {
         // 10 columns; target is 9; ranking over features 0..9.
         let ranking: Vec<usize> = vec![4, 2, 7, 0, 1, 3, 5, 6, 8];
-        let groups = PartitionPlan::ByImportance { important_frac: 0.1 }
-            .column_groups(10, Some(9), Some(&ranking));
+        let groups = PartitionPlan::ByImportance { important_frac: 0.1 }.column_groups(
+            10,
+            Some(9),
+            Some(&ranking),
+        );
         assert_eq!(groups[0], vec![4]); // top 10% (1 of 9 features)
         assert!(groups[1].contains(&9), "target must sit on the other client");
         assert_eq!(groups[0].len() + groups[1].len(), 10);
@@ -192,8 +202,11 @@ mod tests {
     #[test]
     fn by_importance_9010() {
         let ranking: Vec<usize> = (0..9).collect();
-        let groups = PartitionPlan::ByImportance { important_frac: 0.9 }
-            .column_groups(10, Some(9), Some(&ranking));
+        let groups = PartitionPlan::ByImportance { important_frac: 0.9 }.column_groups(
+            10,
+            Some(9),
+            Some(&ranking),
+        );
         assert_eq!(groups[0].len(), 8); // 90% of 9 ≈ 8 (clamped below n-1)
         assert!(groups[1].contains(&9));
     }

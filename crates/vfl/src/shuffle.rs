@@ -7,7 +7,7 @@
 //! server). Each round's permutation is derived from `(base_seed, round)`,
 //! so all clients apply the identical permutation and stay row-aligned.
 
-use crate::transport::{Network, PartyId};
+use crate::transport::{Network, PartyId, TransportError};
 use crate::wire::Message;
 use gtv_data::Table;
 use rand::rngs::StdRng;
@@ -19,10 +19,20 @@ use rand::{Rng, SeedableRng};
 /// (never to the server); every client XORs all shares into the same base
 /// seed. Returns the per-client agreed seeds (all equal).
 ///
+/// # Errors
+///
+/// Returns any [`TransportError`] from the underlying sends/receives, and
+/// [`TransportError::UnexpectedMessage`] if anything other than a
+/// peer-to-peer [`Message::ShuffleSeedShare`] arrives mid-negotiation.
+///
 /// # Panics
 ///
 /// Panics if `n_clients == 0`.
-pub fn negotiate_seed(net: &Network, n_clients: usize, rng_seed: u64) -> Vec<u64> {
+pub fn negotiate_seed(
+    net: &Network,
+    n_clients: usize,
+    rng_seed: u64,
+) -> Result<Vec<u64>, TransportError> {
     assert!(n_clients > 0, "need at least one client");
     let mut rng = StdRng::seed_from_u64(rng_seed);
     let shares: Vec<u64> = (0..n_clients).map(|_| rng.gen()).collect();
@@ -30,7 +40,11 @@ pub fn negotiate_seed(net: &Network, n_clients: usize, rng_seed: u64) -> Vec<u64
     for (i, &share) in shares.iter().enumerate() {
         for j in 0..n_clients {
             if i != j {
-                net.send(PartyId::Client(i), PartyId::Client(j), Message::ShuffleSeedShare { share });
+                net.send(
+                    PartyId::Client(i),
+                    PartyId::Client(j),
+                    Message::ShuffleSeedShare { share },
+                )?;
             }
         }
     }
@@ -39,14 +53,19 @@ pub fn negotiate_seed(net: &Network, n_clients: usize, rng_seed: u64) -> Vec<u64
         .map(|j| {
             let mut seed = shares[j];
             for _ in 0..n_clients - 1 {
-                let (from, msg) = net.recv(PartyId::Client(j));
-                assert!(matches!(from, PartyId::Client(_)), "seed shares must be peer-to-peer");
-                match msg {
-                    Message::ShuffleSeedShare { share } => seed ^= share,
-                    other => panic!("unexpected message during negotiation: {other:?}"),
+                let (from, msg) = net.recv(PartyId::Client(j))?;
+                match (from, msg) {
+                    (PartyId::Client(_), Message::ShuffleSeedShare { share }) => seed ^= share,
+                    (from, got) => {
+                        return Err(TransportError::UnexpectedMessage {
+                            from,
+                            context: "shuffle-seed negotiation",
+                            got,
+                        })
+                    }
                 }
             }
-            seed
+            Ok(seed)
         })
         .collect()
 }
@@ -91,7 +110,7 @@ mod tests {
     #[test]
     fn negotiation_yields_identical_seeds() {
         let net = Network::new(3);
-        let seeds = negotiate_seed(&net, 3, 42);
+        let seeds = negotiate_seed(&net, 3, 42).unwrap();
         assert_eq!(seeds[0], seeds[1]);
         assert_eq!(seeds[1], seeds[2]);
     }
@@ -99,10 +118,29 @@ mod tests {
     #[test]
     fn negotiation_never_contacts_server() {
         let net = Network::new(3);
-        let _ = negotiate_seed(&net, 3, 1);
+        let _ = negotiate_seed(&net, 3, 1).unwrap();
         let stats = net.stats();
         assert_eq!(stats.server_bytes(), 0, "server must not observe seed shares");
         assert!(net.try_recv(PartyId::Server).is_err());
+    }
+
+    #[test]
+    fn negotiation_rejects_foreign_messages() {
+        let net = Network::new(2);
+        // A stray server message sits in client 0's inbox before the
+        // negotiation starts; the protocol must refuse to treat it as a
+        // seed share.
+        net.send(
+            PartyId::Server,
+            PartyId::Client(0),
+            Message::RoundStart { round: 1, selected: 0 },
+        )
+        .unwrap();
+        let err = negotiate_seed(&net, 2, 5).unwrap_err();
+        assert!(
+            matches!(err, TransportError::UnexpectedMessage { from: PartyId::Server, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -6,11 +6,69 @@
 //! crossbeam channels, usable both from a single-threaded orchestrator and
 //! from parties running on their own threads.
 
-use crate::wire::Message;
+use crate::wire::{DecodeMessageError, Message};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+
+/// A transport-layer failure.
+///
+/// Protocol paths never panic on network conditions: every fallible
+/// transport operation reports through this enum so orchestrators can
+/// surface, retry or abort on their own terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// A send targeted a party that has no inbox.
+    UnknownRecipient(PartyId),
+    /// A receive targeted a party that has no inbox.
+    UnknownParty(PartyId),
+    /// The recipient's inbox channel is disconnected.
+    InboxClosed(PartyId),
+    /// The inbox exists but holds no message.
+    InboxEmpty(PartyId),
+    /// A message failed to round-trip through its wire encoding.
+    Decode(DecodeMessageError),
+    /// A protocol step received a message it has no handler for.
+    UnexpectedMessage {
+        /// Sender of the offending message.
+        from: PartyId,
+        /// The protocol step that rejected it.
+        context: &'static str,
+        /// The message itself.
+        got: Message,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownRecipient(p) => write!(f, "unknown recipient {p}"),
+            TransportError::UnknownParty(p) => write!(f, "unknown party {p}"),
+            TransportError::InboxClosed(p) => write!(f, "inbox of {p} is closed"),
+            TransportError::InboxEmpty(p) => write!(f, "inbox of {p} is empty"),
+            TransportError::Decode(e) => write!(f, "wire round-trip failed: {e}"),
+            TransportError::UnexpectedMessage { from, context, got } => {
+                write!(f, "unexpected message from {from} during {context}: {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeMessageError> for TransportError {
+    fn from(e: DecodeMessageError) -> Self {
+        TransportError::Decode(e)
+    }
+}
 
 /// A protocol participant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -126,10 +184,13 @@ impl Network {
 
     /// Encodes `msg`, meters it and delivers it to `to`'s inbox.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `to` has no inbox (unknown party).
-    pub fn send(&self, from: PartyId, to: PartyId, msg: Message) {
+    /// Returns [`TransportError::UnknownRecipient`] if `to` has no inbox,
+    /// [`TransportError::InboxClosed`] if its channel is disconnected, or
+    /// [`TransportError::Decode`] if the message fails to round-trip
+    /// through its own wire encoding.
+    pub fn send(&self, from: PartyId, to: PartyId, msg: Message) -> Result<(), TransportError> {
         let encoded = msg.encode();
         {
             let mut stats = self.stats.lock();
@@ -141,45 +202,40 @@ impl Network {
         }
         // Decode from the wire bytes — the recipient sees only what was
         // actually serialized.
-        let delivered = Message::decode(encoded).expect("self-encoded message must decode");
+        let delivered = Message::decode(encoded)?;
         let fault = self.take_fault(from, to);
         if fault == Some(Fault::Drop) {
-            return;
+            return Ok(());
         }
         let inboxes = self.inboxes.lock();
-        let sender = inboxes
-            .senders
-            .get(&to)
-            .unwrap_or_else(|| panic!("unknown recipient {to}"));
+        let sender = inboxes.senders.get(&to).ok_or(TransportError::UnknownRecipient(to))?;
         if fault == Some(Fault::Duplicate) {
-            sender.send((from, delivered.clone())).expect("inbox closed");
+            sender.send((from, delivered.clone())).map_err(|_| TransportError::InboxClosed(to))?;
         }
-        sender.send((from, delivered)).expect("inbox closed");
+        sender.send((from, delivered)).map_err(|_| TransportError::InboxClosed(to))
     }
 
     /// Pops the next message from `party`'s inbox.
     ///
     /// # Errors
     ///
-    /// Returns [`RecvMessageError::Empty`] if the inbox is empty.
-    pub fn try_recv(&self, party: PartyId) -> Result<(PartyId, Message), RecvMessageError> {
+    /// Returns [`TransportError::InboxEmpty`] if the inbox is empty or
+    /// [`TransportError::UnknownParty`] if `party` has no inbox.
+    pub fn try_recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
         let inboxes = self.inboxes.lock();
-        let rx = inboxes
-            .receivers
-            .get(&party)
-            .ok_or(RecvMessageError::UnknownParty)?;
-        rx.try_recv().map_err(|_| RecvMessageError::Empty)
+        let rx = inboxes.receivers.get(&party).ok_or(TransportError::UnknownParty(party))?;
+        rx.try_recv().map_err(|_| TransportError::InboxEmpty(party))
     }
 
-    /// Pops the next message, panicking on an empty inbox (orchestrated
-    /// protocols know exactly when a message must be present).
+    /// Pops the next message, erroring on an empty inbox (orchestrated
+    /// protocols know exactly when a message must be present, so an empty
+    /// inbox here means a dropped or mis-sequenced message).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the inbox is empty.
-    pub fn recv(&self, party: PartyId) -> (PartyId, Message) {
+    /// Same conditions as [`Network::try_recv`].
+    pub fn recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
         self.try_recv(party)
-            .unwrap_or_else(|_| panic!("inbox of {party} is empty"))
     }
 
     /// Snapshot of the traffic counters.
@@ -193,26 +249,6 @@ impl Network {
     }
 }
 
-/// Error receiving from an inbox.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecvMessageError {
-    /// The inbox exists but holds no message.
-    Empty,
-    /// The party has no inbox.
-    UnknownParty,
-}
-
-impl fmt::Display for RecvMessageError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RecvMessageError::Empty => write!(f, "inbox is empty"),
-            RecvMessageError::UnknownParty => write!(f, "unknown party"),
-        }
-    }
-}
-
-impl std::error::Error for RecvMessageError {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,8 +258,8 @@ mod tests {
     fn send_recv_and_metering() {
         let net = Network::new(2);
         let msg = Message::GenSlice(MatrixPayload::new(1, 2, vec![1.0, 2.0]));
-        net.send(PartyId::Server, PartyId::Client(0), msg.clone());
-        let (from, got) = net.recv(PartyId::Client(0));
+        net.send(PartyId::Server, PartyId::Client(0), msg.clone()).unwrap();
+        let (from, got) = net.recv(PartyId::Client(0)).unwrap();
         assert_eq!(from, PartyId::Server);
         assert_eq!(got, msg);
         let stats = net.stats();
@@ -236,10 +272,12 @@ mod tests {
     #[test]
     fn inboxes_are_fifo_per_party() {
         let net = Network::new(1);
-        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 1 });
-        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 2 });
-        let (_, m1) = net.recv(PartyId::Server);
-        let (_, m2) = net.recv(PartyId::Server);
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 1 })
+            .unwrap();
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 2 })
+            .unwrap();
+        let (_, m1) = net.recv(PartyId::Server).unwrap();
+        let (_, m2) = net.recv(PartyId::Server).unwrap();
         assert_eq!(m1, Message::ShuffleSeedShare { share: 1 });
         assert_eq!(m2, Message::ShuffleSeedShare { share: 2 });
         assert!(net.try_recv(PartyId::Server).is_err());
@@ -248,7 +286,8 @@ mod tests {
     #[test]
     fn client_to_client_traffic_bypasses_server_counter() {
         let net = Network::new(2);
-        net.send(PartyId::Client(0), PartyId::Client(1), Message::ShuffleSeedShare { share: 7 });
+        net.send(PartyId::Client(0), PartyId::Client(1), Message::ShuffleSeedShare { share: 7 })
+            .unwrap();
         assert_eq!(net.stats().server_bytes(), 0);
         assert!(net.stats().bytes > 0);
     }
@@ -256,7 +295,8 @@ mod tests {
     #[test]
     fn reset_clears_counters() {
         let net = Network::new(1);
-        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 0 });
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 0 })
+            .unwrap();
         net.reset_stats();
         assert_eq!(net.stats().messages, 0);
     }
@@ -265,10 +305,12 @@ mod tests {
     fn injected_drop_leaves_inbox_empty() {
         let net = Network::new(1);
         net.inject_fault(PartyId::Server, PartyId::Client(0), Fault::Drop);
-        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 1 });
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 1 })
+            .unwrap();
         assert!(net.try_recv(PartyId::Client(0)).is_err(), "dropped message must not arrive");
         // Fault is one-shot.
-        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 2 });
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 2 })
+            .unwrap();
         assert!(net.try_recv(PartyId::Client(0)).is_ok());
     }
 
@@ -276,10 +318,30 @@ mod tests {
     fn injected_duplicate_delivers_twice() {
         let net = Network::new(1);
         net.inject_fault(PartyId::Client(0), PartyId::Server, Fault::Duplicate);
-        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 3 });
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 3 })
+            .unwrap();
         assert!(net.try_recv(PartyId::Server).is_ok());
         assert!(net.try_recv(PartyId::Server).is_ok());
         assert!(net.try_recv(PartyId::Server).is_err());
+    }
+
+    #[test]
+    fn send_to_unknown_party_errors() {
+        let net = Network::new(1);
+        let err = net
+            .send(PartyId::Server, PartyId::Client(5), Message::ShuffleSeedShare { share: 1 })
+            .unwrap_err();
+        assert_eq!(err, TransportError::UnknownRecipient(PartyId::Client(5)));
+    }
+
+    #[test]
+    fn recv_reports_empty_and_unknown() {
+        let net = Network::new(1);
+        assert_eq!(net.try_recv(PartyId::Server), Err(TransportError::InboxEmpty(PartyId::Server)));
+        assert_eq!(
+            net.recv(PartyId::Client(9)),
+            Err(TransportError::UnknownParty(PartyId::Client(9)))
+        );
     }
 
     #[test]
@@ -288,10 +350,11 @@ mod tests {
         let net = Arc::new(Network::new(1));
         let n2 = Arc::clone(&net);
         let handle = std::thread::spawn(move || {
-            n2.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 9 });
+            n2.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 9 })
+                .unwrap();
         });
         handle.join().unwrap();
-        let (_, m) = net.recv(PartyId::Server);
+        let (_, m) = net.recv(PartyId::Server).unwrap();
         assert_eq!(m, Message::ShuffleSeedShare { share: 9 });
     }
 }

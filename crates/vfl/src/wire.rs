@@ -223,9 +223,7 @@ fn get_matrix(bytes: &mut Bytes) -> Result<MatrixPayload, DecodeMessageError> {
     }
     let rows = bytes.get_u32_le();
     let cols = bytes.get_u32_le();
-    let n = rows
-        .checked_mul(cols)
-        .ok_or_else(|| err("matrix dimensions overflow"))? as usize;
+    let n = rows.checked_mul(cols).ok_or_else(|| err("matrix dimensions overflow"))? as usize;
     if bytes.remaining() < n * 4 {
         return Err(err("truncated matrix body"));
     }

@@ -1,0 +1,79 @@
+//! Property tests: every `Message` variant survives an encode→decode
+//! round-trip bit-exactly, and the encoded length matches the meter.
+
+use gtv_vfl::{MatrixPayload, Message};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn matrix() -> impl Strategy<Value = MatrixPayload> {
+    (vec(-100.0f32..100.0f32, 0..48usize), 1usize..5).prop_map(|(data, cols)| {
+        let rows = data.len() / cols;
+        MatrixPayload::new(rows as u32, cols as u32, data[..rows * cols].to_vec())
+    })
+}
+
+fn roundtrip(msg: &Message) {
+    let encoded = msg.encode();
+    let decoded = Message::decode(encoded).expect("self-encoded message must decode");
+    assert_eq!(&decoded, msg);
+}
+
+proptest! {
+    #[test]
+    fn round_start_roundtrips(round in any::<u64>(), selected in any::<u32>()) {
+        roundtrip(&Message::RoundStart { round, selected });
+    }
+
+    #[test]
+    fn cond_upload_roundtrips(cv in matrix(), indices in vec(0u32..10_000, 0..40usize)) {
+        roundtrip(&Message::CondUpload { cv, indices });
+    }
+
+    #[test]
+    fn gen_slice_roundtrips(m in matrix()) {
+        roundtrip(&Message::GenSlice(m));
+    }
+
+    #[test]
+    fn synth_logits_roundtrips(m in matrix()) {
+        roundtrip(&Message::SynthLogits(m));
+    }
+
+    #[test]
+    fn real_logits_roundtrips(m in matrix()) {
+        roundtrip(&Message::RealLogits(m));
+    }
+
+    #[test]
+    fn grad_logits_roundtrips(m in matrix()) {
+        roundtrip(&Message::GradLogits(m));
+    }
+
+    #[test]
+    fn grad_gen_slice_roundtrips(m in matrix()) {
+        roundtrip(&Message::GradGenSlice(m));
+    }
+
+    #[test]
+    fn synthetic_share_roundtrips(m in matrix()) {
+        roundtrip(&Message::SyntheticShare(m));
+    }
+
+    #[test]
+    fn shuffle_seed_share_roundtrips(share in any::<u64>()) {
+        roundtrip(&Message::ShuffleSeedShare { share });
+    }
+
+    #[test]
+    fn index_share_roundtrips(indices in vec(0u32..100_000, 0..64usize)) {
+        roundtrip(&Message::IndexShare { indices });
+    }
+
+    #[test]
+    fn encoded_len_matches_wire_bytes(m in matrix()) {
+        let msg = Message::GenSlice(m.clone());
+        // 1 tag byte + the matrix's self-reported size: the traffic meter
+        // and the wire bytes must agree.
+        prop_assert_eq!(msg.encode().len(), 1 + m.encoded_len());
+    }
+}

@@ -1,0 +1,733 @@
+//! Source-level static analysis enforcing GTV's protocol invariants.
+//!
+//! The GTV protocol's privacy argument (training-with-shuffling, §3.1.5 of
+//! the paper) holds only if every shuffle and sample draw is seeded and
+//! reproducible, and the VFL runtime only scales if protocol paths never
+//! panic mid-round. This crate is a dependency-free analyzer over the
+//! workspace sources that enforces those invariants as lint rules:
+//!
+//! * **L1 `panic`** — no `unwrap()` / `expect(` / `panic!` /
+//!   `unreachable!` / `todo!` in protocol/runtime paths
+//!   (`crates/vfl/src/{transport,wire,shuffle,psi}.rs`,
+//!   `crates/core/src/trainer.rs`), outside `#[cfg(test)]` code;
+//! * **L2 `determinism`** — no `thread_rng`, `from_entropy`,
+//!   `SystemTime::now`, `Instant::now` outside `crates/bench` and
+//!   `#[cfg(test)]` code, anywhere in the workspace;
+//! * **L3 `float-eq`** — no `==` / `!=` against float literals in
+//!   `crates/metrics` and `crates/ml` (literal-adjacent heuristic; exact
+//!   float equality breaks metric stability across backends);
+//! * **L4 `wire`** — every variant of `enum Message` in
+//!   `crates/vfl/src/wire.rs` has both an encode and a decode arm;
+//! * **L5 `allow-justification`** — every `#[allow(clippy::...)]` carries a
+//!   trailing `//` justification comment.
+//!
+//! A finding on line *N* is suppressed by an inline escape hatch on line
+//! *N* or *N−1*:
+//!
+//! ```text
+//! // gtv-lint: allow(<rule>) -- <justification>
+//! ```
+//!
+//! The justification after `--` is mandatory; a justification-free
+//! `gtv-lint: allow` is itself reported. Analysis is line-based on
+//! comment- and string-stripped source, so tokens inside string literals
+//! or comments never fire.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, L1–L5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1: panic-freedom of protocol/runtime paths.
+    Panic,
+    /// L2: all randomness and time must be seeded/deterministic.
+    Determinism,
+    /// L3: no float equality in metric code.
+    FloatEq,
+    /// L4: wire-format exhaustiveness.
+    Wire,
+    /// L5: clippy `allow`s must be justified.
+    AllowJustification,
+}
+
+impl Rule {
+    /// The identifier used in `gtv-lint: allow(<id>)`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Determinism => "determinism",
+            Rule::FloatEq => "float-eq",
+            Rule::Wire => "wire",
+            Rule::AllowJustification => "allow-justification",
+        }
+    }
+
+    /// The L-number label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rule::Panic => "L1/panic",
+            Rule::Determinism => "L2/determinism",
+            Rule::FloatEq => "L3/float-eq",
+            Rule::Wire => "L4/wire",
+            Rule::AllowJustification => "L5/allow-justification",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Error reading the workspace sources.
+#[derive(Debug)]
+pub struct LintError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Files subject to the L1 panic-freedom rule (protocol/runtime paths).
+const L1_FILES: &[&str] = &[
+    "crates/vfl/src/transport.rs",
+    "crates/vfl/src/wire.rs",
+    "crates/vfl/src/shuffle.rs",
+    "crates/vfl/src/psi.rs",
+    "crates/core/src/trainer.rs",
+];
+
+/// Tokens denied by L1 (matched on identifier boundaries).
+const L1_TOKENS: &[&str] =
+    &["unwrap", "expect", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Tokens denied by L2.
+const L2_TOKENS: &[&str] = &["thread_rng", "from_entropy", "SystemTime::now", "Instant::now"];
+
+/// One source line after lexing: executable text, trailing comment, test flag.
+#[derive(Debug, Default, Clone)]
+struct LexedLine {
+    /// The line with comments and string/char literal *contents* blanked.
+    code: String,
+    /// Text of any `//` comment on the line (block comments excluded).
+    comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    in_test: bool,
+}
+
+/// Strips comments and literal contents, tracks `#[cfg(test)]` regions.
+///
+/// This is a line-oriented lexer, not a parser: it understands `//` and
+/// nested `/* */` comments, plain/raw string literals, char literals vs.
+/// lifetimes, and brace depth — enough to make token scans reliable.
+fn lex(source: &str) -> Vec<LexedLine> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Block(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    // Brace depth, and the depth at which a #[cfg(test)] item opened.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_depth: Option<i64> = None;
+
+    for raw in source.lines() {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        let in_test_at_start = test_depth.is_some();
+        // Pre-scan so `#[cfg(test)] mod t {` on one line still registers
+        // before its own `{` is processed.
+        if mode == Mode::Code && raw.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        while i < bytes.len() {
+            match mode {
+                Mode::Block(ref mut n) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        *n -= 1;
+                        if *n == 0 {
+                            mode = Mode::Code;
+                        }
+                        i += 2;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        *n += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                Mode::Str => {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[i] == '"'
+                        && bytes[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count()
+                            == hashes
+                    {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                Mode::Code => {}
+            }
+            let c = bytes[i];
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    comment = raw[raw.char_indices().nth(i).map_or(0, |(b, _)| b)..].to_string();
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    mode = Mode::Block(1);
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                }
+                'r' if bytes.get(i + 1) == Some(&'"')
+                    || (bytes.get(i + 1) == Some(&'#')
+                        && bytes[i + 1..].iter().find(|&&x| x != '#') == Some(&'"')) =>
+                {
+                    let hashes = bytes[i + 1..].iter().take_while(|&&x| x == '#').count();
+                    code.push('"');
+                    mode = Mode::RawStr(hashes);
+                    i += 2 + hashes;
+                }
+                '\'' => {
+                    // Char literal ('x', '\n', '\u{..}') vs. lifetime ('a).
+                    let rest = &bytes[i + 1..];
+                    let close = if rest.first() == Some(&'\\') {
+                        rest.iter().skip(1).position(|&x| x == '\'').map(|p| p + 1)
+                    } else if rest.len() >= 2 && rest[1] == '\'' {
+                        Some(1)
+                    } else {
+                        None
+                    };
+                    if let Some(p) = close {
+                        code.push('\'');
+                        code.push('\'');
+                        i += p + 2;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    if pending_test_attr {
+                        test_depth = Some(depth);
+                        pending_test_attr = false;
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+                '}' => {
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                    depth -= 1;
+                    code.push(c);
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(LexedLine {
+            code,
+            comment,
+            in_test: in_test_at_start || test_depth.is_some() || pending_test_attr,
+        });
+    }
+    out
+}
+
+/// Whether `code` contains `token` on identifier boundaries.
+fn has_token(code: &str, token: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !ident(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + token.len()..].chars().next();
+        // `!`-terminated tokens are complete; identifiers must not continue.
+        let after_ok = token.ends_with('!') || !after.map(ident).unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len();
+    }
+    false
+}
+
+/// Whether the escape hatch `gtv-lint: allow(<rule>) -- <why>` covers
+/// `rule` in this comment. Returns `Some(true)` if covered with a
+/// justification, `Some(false)` if the allow matches but lacks one,
+/// `None` if no allow for this rule is present.
+fn allow_covers(comment: &str, rule: Rule) -> Option<bool> {
+    let marker = format!("gtv-lint: allow({})", rule.id());
+    let pos = comment.find(&marker)?;
+    let rest = &comment[pos + marker.len()..];
+    let justified = rest.find("--").map(|p| !rest[p + 2..].trim().is_empty()).unwrap_or(false);
+    Some(justified)
+}
+
+/// Applies the escape hatch for (file, line) and records malformed allows.
+fn suppressed(
+    lines: &[LexedLine],
+    idx: usize,
+    rule: Rule,
+    file: &Path,
+    extra: &mut Vec<Finding>,
+) -> bool {
+    for look in [idx, idx.saturating_sub(1)] {
+        if let Some(cov) = allow_covers(&lines[look].comment, rule) {
+            if cov {
+                return true;
+            }
+            extra.push(Finding {
+                file: file.to_path_buf(),
+                line: look + 1,
+                rule,
+                message: format!(
+                    "gtv-lint: allow({}) without `-- <justification>`; findings stay in force",
+                    rule.id()
+                ),
+            });
+            return false;
+        }
+        if look == 0 {
+            break;
+        }
+    }
+    false
+}
+
+/// Whether the token ending at `code[..end]` looks like a float literal.
+fn float_on_left(code: &str, end: usize) -> bool {
+    let tok: String = code[..end]
+        .trim_end()
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_ascii_alphanumeric() || c == '.' || c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    looks_like_float(tok.trim_matches('_'))
+}
+
+/// Whether the token starting at `code[start..]` looks like a float literal.
+fn float_on_right(code: &str, start: usize) -> bool {
+    let rest = code[start..].trim_start();
+    let rest = rest.strip_prefix('-').unwrap_or(rest);
+    let tok: String =
+        rest.chars().take_while(|&c| c.is_ascii_alphanumeric() || c == '.' || c == '_').collect();
+    looks_like_float(&tok)
+}
+
+/// A numeric token with a decimal point, exponent, or f32/f64 suffix.
+fn looks_like_float(tok: &str) -> bool {
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    tok.contains('.')
+        || tok.ends_with("f32")
+        || tok.ends_with("f64")
+        || (tok.contains('e') && !tok.contains('x'))
+}
+
+/// Positions of `==` / `!=` comparison operators in `code`.
+fn eq_operator_positions(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let two = &b[i..i + 2];
+        if two == b"==" {
+            let prev = i.checked_sub(1).map(|p| b[p]);
+            let next = b.get(i + 2);
+            // Exclude <=, >=, !='s tail, ==='s tail, => and pattern guards.
+            if !matches!(
+                prev,
+                Some(b'<')
+                    | Some(b'>')
+                    | Some(b'!')
+                    | Some(b'=')
+                    | Some(b'+')
+                    | Some(b'-')
+                    | Some(b'*')
+                    | Some(b'/')
+            ) && next != Some(&b'=')
+            {
+                out.push(i);
+            }
+            i += 2;
+        } else if two == b"!=" && b.get(i + 2) != Some(&b'=') {
+            out.push(i);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for determinism).
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+/// The workspace-relative source files the analyzer scans: every crate's
+/// `src/`, the umbrella `src/`, and `examples/` (integration tests and
+/// benches are exempt test/bench code).
+fn scan_set(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    rust_files(&root.join("src"), &mut files);
+    rust_files(&root.join("examples"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        crates.sort();
+        for krate in crates {
+            rust_files(&krate.join("src"), &mut files);
+        }
+    }
+    files
+}
+
+/// Runs every lint over the workspace at `root`; findings sorted by file
+/// then line.
+pub fn run_lint(root: &Path) -> Result<Vec<Finding>, LintError> {
+    if !root.is_dir() {
+        // A typo'd --root must not read as "clean" in CI.
+        return Err(LintError { message: format!("root {} is not a directory", root.display()) });
+    }
+    let mut findings = Vec::new();
+    for path in scan_set(root) {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| LintError { message: format!("cannot read {}: {e}", path.display()) })?;
+        let lines = lex(&source);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        lint_panic(&rel, &rel_str, &lines, &mut findings);
+        lint_determinism(&rel, &rel_str, &lines, &mut findings);
+        lint_float_eq(&rel, &rel_str, &lines, &mut findings);
+        lint_allow_justification(&rel, &lines, &mut findings);
+        if rel_str == "crates/vfl/src/wire.rs" {
+            lint_wire(&rel, &lines, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    findings.dedup();
+    Ok(findings)
+}
+
+/// L1: deny panicking macros/methods in protocol paths.
+fn lint_panic(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec<Finding>) {
+    if !L1_FILES.contains(&rel_str) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in L1_TOKENS {
+            let method_like = !token.ends_with('!');
+            let present = if method_like {
+                // Methods fire only as calls: `.unwrap()` / `.expect(`.
+                line.code.contains(&format!(".{token}("))
+            } else {
+                has_token(&line.code, token)
+            };
+            if present && !suppressed(lines, idx, Rule::Panic, rel, findings) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::Panic,
+                    message: format!(
+                        "`{token}` in protocol path; return a Result (or `// gtv-lint: allow(panic) -- why`)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L2: deny ambient randomness and wall-clock reads outside `crates/bench`.
+fn lint_determinism(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec<Finding>) {
+    if rel_str.starts_with("crates/bench/") {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in L2_TOKENS {
+            if has_token(&line.code, token)
+                && !suppressed(lines, idx, Rule::Determinism, rel, findings)
+            {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::Determinism,
+                    message: format!(
+                        "`{token}` breaks seeded reproducibility; derive from a seeded StdRng or move to crates/bench"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L3: deny float-literal equality comparisons in metric crates.
+fn lint_float_eq(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec<Finding>) {
+    if !rel_str.starts_with("crates/metrics/") && !rel_str.starts_with("crates/ml/") {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pos in eq_operator_positions(&line.code) {
+            if (float_on_left(&line.code, pos) || float_on_right(&line.code, pos + 2))
+                && !suppressed(lines, idx, Rule::FloatEq, rel, findings)
+            {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::FloatEq,
+                    message: "exact float comparison; use a tolerance (or `// gtv-lint: allow(float-eq) -- why`)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// L5: every clippy `allow` must carry a trailing justification comment.
+fn lint_allow_justification(rel: &Path, lines: &[LexedLine], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        let is_allow =
+            line.code.contains("#[allow(clippy::") || line.code.contains("#![allow(clippy::");
+        if is_allow && line.comment.trim_start_matches('/').trim().is_empty() {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::AllowJustification,
+                message: "clippy allow without trailing `// <justification>`".to_string(),
+            });
+        }
+    }
+}
+
+/// L4: every `Message` variant must appear in both `encode` and `decode`.
+fn lint_wire(rel: &Path, lines: &[LexedLine], findings: &mut Vec<Finding>) {
+    // Collect variant names from the `enum Message { .. }` body.
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    let mut in_enum = false;
+    let mut enum_depth = 0i64;
+    let mut depth = 0i64;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        if !in_enum && code.contains("enum Message") {
+            in_enum = true;
+            enum_depth = depth + 1;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    if in_enum && depth == enum_depth {
+                        in_enum = false;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        if in_enum && depth == enum_depth {
+            let trimmed = code.trim_start();
+            let name: String =
+                trimmed.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !name.is_empty()
+                && name.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+                && trimmed[name.len()..].trim_start().starts_with(['(', '{', ','])
+            {
+                variants.push((name, i));
+            }
+        }
+        i += 1;
+    }
+    if variants.is_empty() {
+        return;
+    }
+    // Extract the bodies of `fn encode` and `fn decode` by brace matching.
+    let body_of = |needle: &str| -> String {
+        let mut out = String::new();
+        let mut d = 0i64;
+        let mut active = false;
+        let mut started = false;
+        for line in lines {
+            if !active && !started && line.code.contains(needle) {
+                active = true;
+            }
+            if active {
+                out.push_str(&line.code);
+                out.push('\n');
+                for c in line.code.chars() {
+                    match c {
+                        '{' => {
+                            d += 1;
+                            started = true;
+                        }
+                        '}' => d -= 1,
+                        _ => {}
+                    }
+                }
+                if started && d == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    };
+    let encode_body = body_of("fn encode(");
+    let decode_body = body_of("fn decode(");
+    for (variant, idx) in &variants {
+        let qualified = format!("Message::{variant}");
+        for (body, fn_name) in [(&encode_body, "encode"), (&decode_body, "decode")] {
+            if !body.contains(&qualified) && !suppressed(lines, *idx, Rule::Wire, rel, findings) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::Wire,
+                    message: format!("`Message::{variant}` has no arm in `{fn_name}`"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_strings_and_comments() {
+        let lines = lex("let x = \"panic!\"; // panic! in comment\nlet y = 1;");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].comment.contains("panic!"));
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn lexer_tracks_cfg_test_blocks() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn lexer_handles_block_comments_and_lifetimes() {
+        let lines = lex("/* panic! spans\n lines */ let a: &'static str = \"x\";\nlet c = 'y';");
+        assert!(!lines.iter().any(|l| l.code.contains("panic!")));
+        assert!(lines[1].code.contains("'static"));
+        assert!(!lines[2].code.contains('y'));
+    }
+
+    #[test]
+    fn token_matching_respects_boundaries() {
+        assert!(has_token("thread_rng()", "thread_rng"));
+        assert!(!has_token("my_thread_rng()", "thread_rng"));
+        assert!(!has_token("thread_rng_pool", "thread_rng"));
+        assert!(has_token("panic!(\"x\")", "panic!"));
+        assert!(!has_token("dont_panic!(", "panic!"));
+    }
+
+    #[test]
+    fn float_detection_is_literal_adjacent() {
+        let pos = eq_operator_positions("if v == 1.0 {");
+        assert_eq!(pos.len(), 1);
+        assert!(float_on_right("if v == 1.0 {", pos[0] + 2));
+        assert!(float_on_left("if 2.5 == v {", eq_operator_positions("if 2.5 == v {")[0]));
+        assert!(!float_on_right("if v == 1 {", 8));
+        assert!(eq_operator_positions("a <= b, c >= d, e => f").is_empty());
+        assert!(eq_operator_positions("x != 0.5").len() == 1);
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        assert_eq!(
+            allow_covers("// gtv-lint: allow(panic) -- negotiated at startup", Rule::Panic),
+            Some(true)
+        );
+        assert_eq!(allow_covers("// gtv-lint: allow(panic)", Rule::Panic), Some(false));
+        assert_eq!(allow_covers("// gtv-lint: allow(panic) --   ", Rule::Panic), Some(false));
+        assert_eq!(allow_covers("// unrelated", Rule::Panic), None);
+        assert_eq!(allow_covers("// gtv-lint: allow(float-eq) -- x", Rule::Panic), None);
+    }
+}

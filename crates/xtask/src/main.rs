@@ -1,0 +1,78 @@
+//! `gtv-xtask` — workspace maintenance tasks.
+//!
+//! ```text
+//! cargo run -p gtv-xtask -- lint [--root <path>]
+//! ```
+//!
+//! `lint` runs the GTV static-analysis pass (rules L1–L5, see the crate
+//! docs) over the workspace and exits non-zero on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE_EXIT: u8 = 2;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gtv-xtask lint [--root <path>]\n\n\
+         Runs the GTV protocol-invariant lints:\n  \
+         L1 panic         no unwrap/expect/panic!/unreachable!/todo! in protocol paths\n  \
+         L2 determinism   no thread_rng/from_entropy/SystemTime::now/Instant::now outside crates/bench\n  \
+         L3 float-eq      no ==/!= against float literals in crates/metrics, crates/ml\n  \
+         L4 wire          every Message variant has encode and decode arms\n  \
+         L5 allow-justification  every #[allow(clippy::...)] carries a trailing // justification\n\n\
+         Suppress a finding with: // gtv-lint: allow(<rule>) -- <justification>"
+    );
+    ExitCode::from(USAGE_EXIT)
+}
+
+/// Locates the workspace root: `--root` if given, else the directory
+/// holding this crate's grandparent `Cargo.toml` (cargo runs xtask from the
+/// workspace), else the current directory.
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { return usage() };
+    if command != "lint" {
+        eprintln!("unknown command `{command}`");
+        return usage();
+    }
+    let mut root = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = workspace_root(root);
+    match gtv_xtask::run_lint(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("gtv-xtask lint: clean ({} ok)", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            eprintln!("gtv-xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(USAGE_EXIT)
+        }
+    }
+}

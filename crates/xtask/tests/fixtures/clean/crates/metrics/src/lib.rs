@@ -1,0 +1,11 @@
+//! Clean fixture: tolerance-based comparison and a justified allow.
+
+#[allow(clippy::needless_range_loop)] // indexed loop mirrors the formula
+pub fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    for i in 0..a.len() {
+        if (a[i] - b[i]).abs() > tol {
+            return false;
+        }
+    }
+    true
+}

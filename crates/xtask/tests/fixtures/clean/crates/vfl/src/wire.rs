@@ -1,0 +1,23 @@
+//! Clean fixture: exhaustive wire handling, no denied tokens.
+
+pub enum Message {
+    Ping(u8),
+    Pong(u8),
+}
+
+impl Message {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Ping(v) => vec![0, *v],
+            Message::Pong(v) => vec![1, *v],
+        }
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0, v] => Some(Message::Ping(*v)),
+            [1, v] => Some(Message::Pong(*v)),
+            _ => None,
+        }
+    }
+}

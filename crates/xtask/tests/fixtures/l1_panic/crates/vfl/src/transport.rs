@@ -1,0 +1,35 @@
+//! Known-bad fixture: every L1 token class in a protocol path.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn bad_panic() {
+    panic!("protocol paths must not panic");
+}
+
+pub fn bad_unreachable() {
+    unreachable!("nope");
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // gtv-lint: allow(panic) -- fixture proves the escape hatch works
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Bench code is exempt from L2: wall-clock timing is its whole point.
+
+pub fn timed<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,30 @@
+//! Known-bad fixture: ambient randomness and wall-clock reads.
+
+pub fn bad_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn bad_entropy() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn bad_wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn bad_instant() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn fine_in_string() -> &'static str {
+    "thread_rng mentioned in a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

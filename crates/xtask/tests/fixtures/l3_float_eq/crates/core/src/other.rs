@@ -1,0 +1,5 @@
+//! Float equality outside crates/metrics and crates/ml is out of L3 scope.
+
+pub fn hot_bit(v: f32) -> bool {
+    v == 1.0
+}

@@ -1,0 +1,22 @@
+//! Known-bad fixture: exact float comparisons in metric code.
+
+pub fn bad_eq_right(v: f64) -> bool {
+    v == 1.0
+}
+
+pub fn bad_eq_left(v: f64) -> bool {
+    0.5 == v
+}
+
+pub fn bad_ne(v: f32) -> bool {
+    v != 2.0f32
+}
+
+pub fn fine_int(v: usize) -> bool {
+    v == 1
+}
+
+pub fn suppressed(v: f64) -> bool {
+    // gtv-lint: allow(float-eq) -- sentinel comparison, value is assigned not computed
+    v == -1.0
+}

@@ -1,0 +1,26 @@
+//! Known-bad fixture: `Message` variants missing encode/decode arms.
+
+pub enum Message {
+    RoundStart { round: u64 },
+    GenSlice(Vec<f32>),
+    Orphan(u8),
+}
+
+impl Message {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::RoundStart { round } => round.to_le_bytes().to_vec(),
+            Message::GenSlice(_) => vec![1],
+            // Orphan intentionally unhandled: L4 must flag it.
+            _ => vec![255],
+        }
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.first()? {
+            0 => Some(Message::RoundStart { round: 0 }),
+            // GenSlice and Orphan intentionally unhandled.
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: clippy allow without a trailing justification.
+
+#[allow(clippy::needless_range_loop)]
+pub fn bare_allow(v: &mut [f32]) {
+    for i in 0..v.len() {
+        v[i] += 1.0;
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+pub fn justified_allow(v: &mut [f32]) {
+    for i in 0..v.len() {
+        v[i] += 1.0;
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture: an escape hatch without a justification does not
+//! suppress, and is itself reported.
+
+pub fn unjustified(x: Option<u32>) -> u32 {
+    // gtv-lint: allow(panic)
+    x.unwrap()
+}

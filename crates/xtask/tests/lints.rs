@@ -1,0 +1,116 @@
+//! End-to-end lint tests: each rule must fire on its known-bad fixture
+//! tree, stay quiet on clean code, and honor the escape hatch.
+
+use std::path::{Path, PathBuf};
+
+use gtv_xtask::{run_lint, Finding, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint(name: &str) -> Vec<Finding> {
+    run_lint(&fixture(name)).expect("fixture tree should be readable")
+}
+
+fn lines_for(findings: &[Finding], rule: Rule) -> Vec<usize> {
+    findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect()
+}
+
+#[test]
+fn l1_flags_every_panic_token_and_honors_the_escape_hatch() {
+    let findings = lint("l1_panic");
+    assert!(findings.iter().all(|f| f.rule == Rule::Panic), "{findings:?}");
+    // unwrap, expect, panic!, unreachable!, todo! — one finding each; the
+    // suppressed unwrap (line 25) and the #[cfg(test)] unwrap are exempt.
+    assert_eq!(lines_for(&findings, Rule::Panic), vec![4, 8, 12, 16, 20], "{findings:?}");
+}
+
+#[test]
+fn l2_flags_ambient_randomness_and_clocks_but_not_bench_or_tests() {
+    let findings = lint("l2_determinism");
+    assert!(findings.iter().all(|f| f.rule == Rule::Determinism), "{findings:?}");
+    assert!(
+        findings.iter().all(|f| f.file == Path::new("crates/nn/src/layers.rs")),
+        "crates/bench must be exempt: {findings:?}"
+    );
+    // thread_rng, from_entropy, SystemTime::now, Instant::now.
+    assert_eq!(lines_for(&findings, Rule::Determinism), vec![4, 9, 13, 17], "{findings:?}");
+}
+
+#[test]
+fn l3_flags_float_equality_only_in_metric_crates() {
+    let findings = lint("l3_float_eq");
+    assert!(findings.iter().all(|f| f.rule == Rule::FloatEq), "{findings:?}");
+    assert!(
+        findings.iter().all(|f| f.file == Path::new("crates/metrics/src/divergence.rs")),
+        "crates/core must be out of L3 scope: {findings:?}"
+    );
+    // `v == 1.0`, `0.5 == v`, `v != 2.0f32`; int compare and the
+    // suppressed sentinel compare are exempt.
+    assert_eq!(lines_for(&findings, Rule::FloatEq), vec![4, 8, 12], "{findings:?}");
+}
+
+#[test]
+fn l4_flags_message_variants_missing_encode_or_decode_arms() {
+    let findings = lint("l4_wire");
+    assert!(findings.iter().all(|f| f.rule == Rule::Wire), "{findings:?}");
+    let mut missing: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    missing.sort_unstable();
+    assert_eq!(
+        missing,
+        vec![
+            "`Message::GenSlice` has no arm in `decode`",
+            "`Message::Orphan` has no arm in `decode`",
+            "`Message::Orphan` has no arm in `encode`",
+        ],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn l5_flags_bare_clippy_allows_but_not_justified_ones() {
+    let findings = lint("l5_allow");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::AllowJustification);
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn malformed_escape_hatch_does_not_suppress_and_is_reported() {
+    let findings = lint("malformed_allow");
+    // The justification-free allow is reported AND the unwrap it failed
+    // to cover still stands.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.line == 5 && f.message.contains("without `-- <justification>`")));
+    assert!(findings.iter().any(|f| f.line == 6 && f.message.contains("`unwrap`")));
+}
+
+#[test]
+fn clean_tree_produces_no_findings() {
+    let findings = lint("clean");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf();
+    let findings = run_lint(&root).expect("workspace should be readable");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn nonexistent_root_is_an_error_not_a_clean_pass() {
+    let err = run_lint(Path::new("/nonexistent/gtv-xtask-root")).unwrap_err();
+    assert!(err.to_string().contains("not a directory"), "{err}");
+}

@@ -35,8 +35,10 @@ fn main() {
     // world row index here.
     let shop_customers: Vec<u64> = (0..1_150).rev().collect(); // shop's own order
     let bank_customers: Vec<u64> = (50..1_200).collect(); // 1100 shared
-    let shop_local = shards[0].select_rows(&shop_customers.iter().map(|&i| i as usize).collect::<Vec<_>>());
-    let bank_local = shards[1].select_rows(&bank_customers.iter().map(|&i| i as usize).collect::<Vec<_>>());
+    let shop_local =
+        shards[0].select_rows(&shop_customers.iter().map(|&i| i as usize).collect::<Vec<_>>());
+    let bank_local =
+        shards[1].select_rows(&bank_customers.iter().map(|&i| i as usize).collect::<Vec<_>>());
     let alignment = psi_align(&[shop_customers, bank_customers], 0xfeed);
     println!("PSI: {} shared customers", alignment.intersection_size);
     let shop = shop_local.select_rows(&alignment.row_orders[0]);
@@ -52,11 +54,15 @@ fn main() {
         ..GtvConfig::default()
     };
     let mut trainer = GtvTrainer::new(vec![shop.clone(), bank.clone()], config);
-    trainer.train();
+    trainer.train().expect("GTV protocol transport failed");
 
     // Step 3 — secure publication of the joint synthetic table.
-    let synthetic = trainer.synthesize(aligned_rows, 3);
-    println!("published joint synthetic table: {} rows × {} cols", synthetic.n_rows(), synthetic.n_cols());
+    let synthetic = trainer.synthesize(aligned_rows, 3).expect("GTV protocol transport failed");
+    println!(
+        "published joint synthetic table: {} rows × {} cols",
+        synthetic.n_rows(),
+        synthetic.n_cols()
+    );
 
     // Step 4 — downstream value: train credit models on the synthetic joint
     // table, test on held-out real data.
@@ -64,8 +70,14 @@ fn main() {
     let (train_real, test_real) = joined.train_test_split(0.25, 1);
     let real: Scores = evaluate_all(&train_real, &test_real, 0);
     let synth: Scores = evaluate_all(&synthetic, &test_real, 0);
-    println!("trained on real      : acc={:.3} f1={:.3} auc={:.3}", real.accuracy, real.f1, real.auc);
-    println!("trained on synthetic : acc={:.3} f1={:.3} auc={:.3}", synth.accuracy, synth.f1, synth.auc);
+    println!(
+        "trained on real      : acc={:.3} f1={:.3} auc={:.3}",
+        real.accuracy, real.f1, real.auc
+    );
+    println!(
+        "trained on synthetic : acc={:.3} f1={:.3} auc={:.3}",
+        synth.accuracy, synth.f1, synth.auc
+    );
     let d = real.abs_diff(synth);
     println!("ML-utility difference: acc={:.3} f1={:.3} auc={:.3}", d.accuracy, d.f1, d.auc);
 }

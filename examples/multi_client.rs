@@ -14,15 +14,18 @@ fn main() {
     let table = Dataset::Adult.generate(700, 0);
     let n = table.n_cols();
     println!("dataset: adult stand-in, {} columns, {} rows\n", n, table.n_rows());
-    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "clients", "avg JSD", "avg WD", "diff corr", "MiB traffic");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "clients", "avg JSD", "avg WD", "diff corr", "MiB traffic"
+    );
 
     for n_clients in 2..=5 {
         let groups = PartitionPlan::RandomEven { n_clients, seed: 4 }.column_groups(n, None, None);
         let shards = table.vertical_split(&groups);
         let config = GtvConfig { rounds: 200, batch: 128, ..GtvConfig::default() };
         let mut trainer = GtvTrainer::new(shards, config);
-        trainer.train();
-        let synth = trainer.synthesize(table.n_rows(), 1);
+        trainer.train().expect("GTV protocol transport failed");
+        let synth = trainer.synthesize(table.n_rows(), 1).expect("GTV protocol transport failed");
         let rep = similarity(&table, &synth);
         let mib = trainer.network_stats().bytes as f64 / (1024.0 * 1024.0);
         println!(

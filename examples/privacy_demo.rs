@@ -24,7 +24,7 @@ fn run(shuffling: bool) -> (f64, usize) {
     };
     let mut trainer = GtvTrainer::new(shards, config);
     trainer.set_shuffling(shuffling);
-    trainer.train();
+    trainer.train().expect("GTV protocol transport failed");
     let truths = trainer.column_truths();
     let report = trainer.observer().reconstruction_accuracy(&truths);
     (report.accuracy, report.observed_cells)
@@ -34,9 +34,17 @@ fn main() {
     println!("server reconstruction attack on the clients' categorical columns");
     println!("(accuracy over the (row, column) cells the server observed)\n");
     let (acc_plain, cells_plain) = run(false);
-    println!("WITHOUT shuffling (Fig. 5): accuracy {:.1}% over {} cells", acc_plain * 100.0, cells_plain);
+    println!(
+        "WITHOUT shuffling (Fig. 5): accuracy {:.1}% over {} cells",
+        acc_plain * 100.0,
+        cells_plain
+    );
     let (acc_shuf, cells_shuf) = run(true);
-    println!("WITH    shuffling (Fig. 6): accuracy {:.1}% over {} cells", acc_shuf * 100.0, cells_shuf);
+    println!(
+        "WITH    shuffling (Fig. 6): accuracy {:.1}% over {} cells",
+        acc_shuf * 100.0,
+        cells_shuf
+    );
     println!(
         "\ntraining-with-shuffling reduces the attack from {:.1}% to {:.1}%",
         acc_plain * 100.0,

@@ -26,11 +26,11 @@ fn main() {
     // discriminator on the server, generator on the clients).
     let config = GtvConfig { rounds: 300, batch: 128, ..GtvConfig::default() };
     let mut trainer = GtvTrainer::new(shards, config);
-    trainer.train();
+    trainer.train().expect("GTV protocol transport failed");
 
     // Publish the joint synthetic table (shares are shuffled before
     // publication, per §3.1.7).
-    let synthetic = trainer.synthesize(800, 42);
+    let synthetic = trainer.synthesize(800, 42).expect("GTV protocol transport failed");
     let report = similarity(&table, &synthetic);
     println!("avg JSD        {:.4}", report.avg_jsd);
     println!("avg WD         {:.4}", report.avg_wd);

@@ -17,16 +17,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Session 1: train and persist.
     let config = GtvConfig { rounds: 150, ..GtvConfig::default() };
     let mut trainer = GtvTrainer::new(table.vertical_split(&groups), config.clone());
-    trainer.train();
+    trainer.train().expect("GTV protocol transport failed");
     let path = std::env::temp_dir().join("gtv_demo_weights.bin");
     trainer.save_weights().save(&path)?;
-    let reference = trainer.synthesize(100, 7);
-    println!("trained and saved {} weight tensors to {}", trainer.save_weights().len(), path.display());
+    let reference = trainer.synthesize(100, 7).expect("GTV protocol transport failed");
+    println!(
+        "trained and saved {} weight tensors to {}",
+        trainer.save_weights().len(),
+        path.display()
+    );
 
     // Session 2: same clients, same config seed — reload instead of train.
     let mut restored = GtvTrainer::new(table.vertical_split(&groups), config);
     restored.load_weights(&StateDict::load(&path)?)?;
-    let regenerated = restored.synthesize(100, 7);
+    let regenerated = restored.synthesize(100, 7).expect("GTV protocol transport failed");
     assert_eq!(reference, regenerated, "restored model must generate identically");
     println!("restored model regenerates the same 100 rows bit-for-bit ✔");
     Ok(())

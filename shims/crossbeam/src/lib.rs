@@ -1,0 +1,178 @@
+//! Offline stand-in for `crossbeam::channel`: an unbounded MPMC channel
+//! (cloneable [`channel::Sender`] *and* [`channel::Receiver`]) over a
+//! mutex-guarded queue with condvar wakeups — the semantics GTV's in-process
+//! transport relies on, without the lock-free machinery.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half; cloneable.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error: all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is queued right now.
+        Empty,
+        /// No message is queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv`]: every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    fn lock<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        chan.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only if every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            lock(&self.chan).push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Self { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pops the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = lock(&self.chan);
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.chan.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = lock(&self.chan);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.ready.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Self { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        let (tx2, rx2) = unbounded();
+        drop(rx2);
+        assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn blocking_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(99u32).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(99));
+        handle.join().unwrap();
+    }
+}

@@ -8,7 +8,14 @@ fn trainer(rows: usize, shuffling: bool, rounds: usize) -> GtvTrainer {
     let table = Dataset::Loan.generate(rows, 0);
     let n = table.n_cols();
     let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
-    let config = GtvConfig { rounds, d_steps: 1, batch: 64, block_width: 32, embedding_dim: 16, ..GtvConfig::default() };
+    let config = GtvConfig {
+        rounds,
+        d_steps: 1,
+        batch: 64,
+        block_width: 32,
+        embedding_dim: 16,
+        ..GtvConfig::default()
+    };
     let mut t = GtvTrainer::new(shards, config);
     t.set_shuffling(shuffling);
     t
@@ -19,9 +26,13 @@ fn trainer(rows: usize, shuffling: bool, rounds: usize) -> GtvTrainer {
 #[test]
 fn server_reconstructs_without_shuffling() {
     let mut t = trainer(150, false, 100);
-    t.train();
+    t.train().unwrap();
     let report = t.observer().reconstruction_accuracy(&t.column_truths());
-    assert!(report.observed_cells > 100, "attack needs observations, got {}", report.observed_cells);
+    assert!(
+        report.observed_cells > 100,
+        "attack needs observations, got {}",
+        report.observed_cells
+    );
     assert!(
         report.accuracy > 0.95,
         "without shuffling the attack should be near-perfect, got {:.3}",
@@ -33,7 +44,7 @@ fn server_reconstructs_without_shuffling() {
 #[test]
 fn shuffling_defeats_reconstruction() {
     let mut t = trainer(150, true, 100);
-    t.train();
+    t.train().unwrap();
     let report = t.observer().reconstruction_accuracy(&t.column_truths());
     // Chance level depends on category counts; Loan's columns are binary to
     // 4-way, so anything near 1.0 would mean the defence failed.
@@ -47,9 +58,9 @@ fn shuffling_defeats_reconstruction() {
 #[test]
 fn shuffling_strictly_reduces_attack_accuracy() {
     let mut plain = trainer(150, false, 80);
-    plain.train();
+    plain.train().unwrap();
     let mut shuf = trainer(150, true, 80);
-    shuf.train();
+    shuf.train().unwrap();
     let a_plain = plain.observer().reconstruction_accuracy(&plain.column_truths()).accuracy;
     let a_shuf = shuf.observer().reconstruction_accuracy(&shuf.column_truths()).accuracy;
     assert!(
@@ -76,13 +87,13 @@ fn server_observes_no_seed_traffic() {
 #[test]
 fn publication_shuffle_changes_row_order_consistently() {
     let mut t = trainer(150, true, 10);
-    t.train();
-    let shares = t.synthesize_shares(60, 9);
+    t.train().unwrap();
+    let shares = t.synthesize_shares(60, 9).unwrap();
     assert_eq!(shares.len(), 2);
     // Shares stay row-aligned with each other (same publication permutation).
-    let again = t.synthesize_shares(60, 9);
+    let again = t.synthesize_shares(60, 9).unwrap();
     assert_eq!(shares, again, "publication must be deterministic per seed");
-    let other = t.synthesize_shares(60, 10);
+    let other = t.synthesize_shares(60, 10).unwrap();
     assert_ne!(shares, other, "different publication seeds must differ");
 }
 
@@ -117,7 +128,7 @@ fn p2p_index_sharing_leaks_minority_membership() {
         ..GtvConfig::default()
     };
     let mut t = GtvTrainer::new(vec![curious, owner], config);
-    t.train();
+    t.train().unwrap();
     let minority: Vec<usize> = (0..20).collect();
     let precision = t.client_index_observers()[0].minority_precision(&minority);
     // Chance would be 10%; log-frequency oversampling makes the minority
@@ -142,10 +153,17 @@ fn fig5_miniature_reconstruction_is_exact() {
         Schema::new(vec![ColumnMeta::new("loan", ColumnKind::categorical(["Y", "N"]))], None),
         vec![ColumnData::Cat(vec![0, 0, 1, 1, 1, 1])],
     );
-    let config = GtvConfig { rounds: 200, d_steps: 1, batch: 8, block_width: 16, embedding_dim: 8, ..GtvConfig::default() };
+    let config = GtvConfig {
+        rounds: 200,
+        d_steps: 1,
+        batch: 8,
+        block_width: 16,
+        embedding_dim: 8,
+        ..GtvConfig::default()
+    };
     let mut t = GtvTrainer::new(vec![gender, loan], config);
     t.set_shuffling(false);
-    t.train();
+    t.train().unwrap();
     let report = t.observer().reconstruction_accuracy(&t.column_truths());
     assert_eq!(report.accuracy, 1.0, "miniature Fig. 5 attack must be exact");
     assert!(report.observed_cells >= 10, "most cells should be observed");

@@ -13,7 +13,8 @@ fn table_strategy() -> impl Strategy<Value = Table> {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let mut metas = vec![ColumnMeta::new("x", ColumnKind::Continuous)];
-        let mut cols = vec![ColumnData::Float((0..rows).map(|_| rng.gen_range(-5.0..5.0)).collect())];
+        let mut cols =
+            vec![ColumnData::Float((0..rows).map(|_| rng.gen_range(-5.0..5.0)).collect())];
         for c in 0..n_cat {
             let k = rng.gen_range(2..5usize);
             metas.push(ColumnMeta::new(

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, clippy under the workspace deny-list, the
+# gtv-xtask protocol lints, and the test suite. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "gtv-xtask lint"
+cargo run -q -p gtv-xtask -- lint
+
+step "cargo test -q"
+cargo test -q --workspace
+
+printf '\nci: all gates passed\n'
