@@ -127,6 +127,7 @@ impl Message {
             }
             Message::CondUpload { cv, indices } => {
                 put_matrix(&mut buf, cv);
+                debug_assert!(indices.len() <= u32::MAX as usize, "index count exceeds wire width");
                 buf.put_u32_le(indices.len() as u32);
                 for &i in indices {
                     buf.put_u32_le(i);
@@ -140,6 +141,7 @@ impl Message {
             | Message::SyntheticShare(m) => put_matrix(&mut buf, m),
             Message::ShuffleSeedShare { share } => buf.put_u64_le(*share),
             Message::IndexShare { indices } => {
+                debug_assert!(indices.len() <= u32::MAX as usize, "index count exceeds wire width");
                 buf.put_u32_le(indices.len() as u32);
                 for &i in indices {
                     buf.put_u32_le(i);

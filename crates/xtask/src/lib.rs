@@ -19,7 +19,23 @@
 //! * **L4 `wire`** — every variant of `enum Message` in
 //!   `crates/vfl/src/wire.rs` has both an encode and a decode arm;
 //! * **L5 `allow-justification`** — every `#[allow(clippy::...)]` carries a
-//!   trailing `//` justification comment.
+//!   trailing `//` justification comment;
+//! * **L6 `privacy-flow`** — shuffle-seed material (the secret roots in
+//!   [`passes`]) is never reachable from server-side code and never routed
+//!   into a logging/IO sink outside the sanctioned client↔client path;
+//! * **L7 `rng-provenance`** — every `seed_from_u64` / `from_seed` call
+//!   outside tests and `crates/bench` derives its argument from a value
+//!   named `seed`/`round`, never a literal or ambient source;
+//! * **L8 `cast-safety`** — narrowing `as` casts on wire/transport paths
+//!   carry an adjacent bounds guard or a justified allow;
+//! * **L9 `layering`** — the crate dependency DAG is enforced at the
+//!   `use`-statement (and qualified-path) level.
+//!
+//! L1–L5 are line-lexer rules. L6–L9 run on the item-level engine: the
+//! [`parse`] module's recursive-descent parser extracts items (structs and
+//! enums with field types, fns with bodies, imports), and [`model`] builds
+//! the type-containment and approximate call/reference graphs the
+//! [`passes`] consume.
 //!
 //! A finding on line *N* is suppressed by an inline escape hatch on line
 //! *N* or *N−1*:
@@ -36,7 +52,11 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The lint rules, L1–L5.
+pub(crate) mod model;
+pub(crate) mod parse;
+pub(crate) mod passes;
+
+/// The lint rules, L1–L9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// L1: panic-freedom of protocol/runtime paths.
@@ -49,6 +69,14 @@ pub enum Rule {
     Wire,
     /// L5: clippy `allow`s must be justified.
     AllowJustification,
+    /// L6: shuffle-seed material stays off server-side and logging paths.
+    PrivacyFlow,
+    /// L7: RNG seeds derive from named seed/round values.
+    RngProvenance,
+    /// L8: narrowing casts on wire paths carry bounds guards.
+    CastSafety,
+    /// L9: the crate dependency DAG admits no upward references.
+    Layering,
 }
 
 impl Rule {
@@ -60,6 +88,10 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::Wire => "wire",
             Rule::AllowJustification => "allow-justification",
+            Rule::PrivacyFlow => "privacy-flow",
+            Rule::RngProvenance => "rng-provenance",
+            Rule::CastSafety => "cast-safety",
+            Rule::Layering => "layering",
         }
     }
 
@@ -71,6 +103,10 @@ impl Rule {
             Rule::FloatEq => "L3/float-eq",
             Rule::Wire => "L4/wire",
             Rule::AllowJustification => "L5/allow-justification",
+            Rule::PrivacyFlow => "L6/privacy-flow",
+            Rule::RngProvenance => "L7/rng-provenance",
+            Rule::CastSafety => "L8/cast-safety",
+            Rule::Layering => "L9/layering",
         }
     }
 }
@@ -94,10 +130,50 @@ pub struct Finding {
     pub message: String,
 }
 
+impl Finding {
+    /// The finding as one line of JSON (for `lint --json` / CI annotations).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"label\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.rule.id(),
+            self.rule.label(),
+            json_escape(&self.file.display().to_string().replace('\\', "/")),
+            self.line,
+            json_escape(&self.message),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
     }
+}
+
+/// Wall-time of one analysis pass (for the `lint` timing report).
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// Pass label (`L1/panic`, …, or `parse` for load+lex+parse).
+    pub label: &'static str,
+    /// Elapsed milliseconds.
+    pub millis: f64,
 }
 
 /// Error reading the workspace sources.
@@ -133,13 +209,28 @@ const L2_TOKENS: &[&str] = &["thread_rng", "from_entropy", "SystemTime::now", "I
 
 /// One source line after lexing: executable text, trailing comment, test flag.
 #[derive(Debug, Default, Clone)]
-struct LexedLine {
+pub(crate) struct LexedLine {
     /// The line with comments and string/char literal *contents* blanked.
-    code: String,
+    pub(crate) code: String,
     /// Text of any `//` comment on the line (block comments excluded).
-    comment: String,
+    pub(crate) comment: String,
     /// Whether the line sits inside a `#[cfg(test)]` item.
-    in_test: bool,
+    pub(crate) in_test: bool,
+}
+
+/// One scanned source file: lexed lines plus the parsed item structure the
+/// semantic passes consume.
+pub(crate) struct FileUnit {
+    /// Workspace-relative path.
+    pub(crate) rel: PathBuf,
+    /// `rel` rendered with forward slashes.
+    pub(crate) rel_str: String,
+    /// Crate identifier the file compiles into ([`model::crate_ident`]).
+    pub(crate) crate_ident: String,
+    /// Lexed source lines.
+    pub(crate) lines: Vec<LexedLine>,
+    /// Parsed items (imports, types, fns).
+    pub(crate) ast: parse::FileAst,
 }
 
 /// Strips comments and literal contents, tracks `#[cfg(test)]` regions.
@@ -147,7 +238,7 @@ struct LexedLine {
 /// This is a line-oriented lexer, not a parser: it understands `//` and
 /// nested `/* */` comments, plain/raw string literals, char literals vs.
 /// lifetimes, and brace depth — enough to make token scans reliable.
-fn lex(source: &str) -> Vec<LexedLine> {
+pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
     #[derive(PartialEq)]
     enum Mode {
         Code,
@@ -323,7 +414,13 @@ fn allow_covers(comment: &str, rule: Rule) -> Option<bool> {
 }
 
 /// Applies the escape hatch for (file, line) and records malformed allows.
-fn suppressed(
+///
+/// Only an ordinary `//` comment binds: doc comments (`///`, `//!`) are
+/// documentation *text*, not directives, so an allow spelled inside one —
+/// e.g. a doc example quoting the escape hatch — suppresses nothing.
+/// String literals never reach here at all (the lexer routes them into
+/// `code`, with contents blanked, never into `comment`).
+pub(crate) fn suppressed(
     lines: &[LexedLine],
     idx: usize,
     rule: Rule,
@@ -331,7 +428,14 @@ fn suppressed(
     extra: &mut Vec<Finding>,
 ) -> bool {
     for look in [idx, idx.saturating_sub(1)] {
-        if let Some(cov) = allow_covers(&lines[look].comment, rule) {
+        let comment = lines[look].comment.trim_start();
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            if look == 0 {
+                break;
+            }
+            continue;
+        }
+        if let Some(cov) = allow_covers(comment, rule) {
             if cov {
                 return true;
             }
@@ -459,28 +563,96 @@ fn scan_set(root: &Path) -> Vec<PathBuf> {
 /// Runs every lint over the workspace at `root`; findings sorted by file
 /// then line.
 pub fn run_lint(root: &Path) -> Result<Vec<Finding>, LintError> {
+    run_lint_timed(root).map(|(findings, _)| findings)
+}
+
+/// Runs one pass, recording its wall-time.
+fn timed(
+    label: &'static str,
+    timings: &mut Vec<PassTiming>,
+    findings: &mut Vec<Finding>,
+    pass: impl FnOnce(&mut Vec<Finding>),
+) {
+    // gtv-lint: allow(determinism) -- self-timing of the analyzer, reporting only
+    let start = std::time::Instant::now();
+    pass(findings);
+    timings.push(PassTiming { label, millis: start.elapsed().as_secs_f64() * 1000.0 });
+}
+
+/// Runs every lint over the workspace at `root`, returning findings (sorted
+/// by file then line) together with per-pass wall-times.
+pub fn run_lint_timed(root: &Path) -> Result<(Vec<Finding>, Vec<PassTiming>), LintError> {
     if !root.is_dir() {
         // A typo'd --root must not read as "clean" in CI.
         return Err(LintError { message: format!("root {} is not a directory", root.display()) });
     }
+    let mut timings = Vec::new();
     let mut findings = Vec::new();
+
+    // gtv-lint: allow(determinism) -- self-timing of the analyzer, reporting only
+    let load_start = std::time::Instant::now();
+    let mut units = Vec::new();
     for path in scan_set(root) {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = std::fs::read_to_string(&path)
             .map_err(|e| LintError { message: format!("cannot read {}: {e}", path.display()) })?;
         let lines = lex(&source);
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        lint_panic(&rel, &rel_str, &lines, &mut findings);
-        lint_determinism(&rel, &rel_str, &lines, &mut findings);
-        lint_float_eq(&rel, &rel_str, &lines, &mut findings);
-        lint_allow_justification(&rel, &lines, &mut findings);
-        if rel_str == "crates/vfl/src/wire.rs" {
-            lint_wire(&rel, &lines, &mut findings);
-        }
+        let ast = parse::parse_file(&lines);
+        units.push(FileUnit {
+            rel,
+            rel_str: rel_str.clone(),
+            crate_ident: model::crate_ident(&rel_str),
+            lines,
+            ast,
+        });
     }
+    timings
+        .push(PassTiming { label: "parse", millis: load_start.elapsed().as_secs_f64() * 1000.0 });
+
+    timed("L1/panic", &mut timings, &mut findings, |f| {
+        for u in &units {
+            lint_panic(&u.rel, &u.rel_str, &u.lines, f);
+        }
+    });
+    timed("L2/determinism", &mut timings, &mut findings, |f| {
+        for u in &units {
+            lint_determinism(&u.rel, &u.rel_str, &u.lines, f);
+        }
+    });
+    timed("L3/float-eq", &mut timings, &mut findings, |f| {
+        for u in &units {
+            lint_float_eq(&u.rel, &u.rel_str, &u.lines, f);
+        }
+    });
+    timed("L4/wire", &mut timings, &mut findings, |f| {
+        for u in &units {
+            if u.rel_str == "crates/vfl/src/wire.rs" {
+                lint_wire(&u.rel, &u.lines, f);
+            }
+        }
+    });
+    timed("L5/allow-justification", &mut timings, &mut findings, |f| {
+        for u in &units {
+            lint_allow_justification(&u.rel, &u.lines, f);
+        }
+    });
+    timed("L6/privacy-flow", &mut timings, &mut findings, |f| {
+        passes::lint_privacy_flow(&units, f);
+    });
+    timed("L7/rng-provenance", &mut timings, &mut findings, |f| {
+        passes::lint_rng_provenance(&units, f);
+    });
+    timed("L8/cast-safety", &mut timings, &mut findings, |f| {
+        passes::lint_cast_safety(&units, f);
+    });
+    timed("L9/layering", &mut timings, &mut findings, |f| {
+        passes::lint_layering(&units, f);
+    });
+
     findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     findings.dedup();
-    Ok(findings)
+    Ok((findings, timings))
 }
 
 /// L1: deny panicking macros/methods in protocol paths.
@@ -717,6 +889,56 @@ mod tests {
         assert!(!float_on_right("if v == 1 {", 8));
         assert!(eq_operator_positions("a <= b, c >= d, e => f").is_empty());
         assert!(eq_operator_positions("x != 0.5").len() == 1);
+    }
+
+    #[test]
+    fn doc_comment_allow_does_not_suppress() {
+        // An allow quoted in a doc comment is documentation, not a directive.
+        let lines = lex(
+            "/// gtv-lint: allow(determinism) -- doc text, not a directive\nlet t = thread_rng();\n",
+        );
+        let mut extra = Vec::new();
+        assert!(!suppressed(&lines, 1, Rule::Determinism, Path::new("x.rs"), &mut extra));
+        assert!(extra.is_empty(), "doc-comment allows are ignored, not reported as malformed");
+        let lines = lex("//! gtv-lint: allow(panic) -- inner doc\nx.unwrap();\n");
+        assert!(!suppressed(&lines, 1, Rule::Panic, Path::new("x.rs"), &mut extra));
+    }
+
+    #[test]
+    fn string_literal_allow_does_not_suppress() {
+        // The lexer blanks string contents into `code`; they never become a
+        // comment, so an allow inside a string binds nothing.
+        let lines =
+            lex("let s = \"gtv-lint: allow(determinism) -- nope\";\nlet t = thread_rng();\n");
+        let mut extra = Vec::new();
+        assert!(!suppressed(&lines, 1, Rule::Determinism, Path::new("x.rs"), &mut extra));
+    }
+
+    #[test]
+    fn allow_binds_only_to_annotated_line_and_line_below() {
+        let src = "// gtv-lint: allow(determinism) -- two lines up\n\nlet t = thread_rng();\n";
+        let lines = lex(src);
+        let mut extra = Vec::new();
+        assert!(
+            !suppressed(&lines, 2, Rule::Determinism, Path::new("x.rs"), &mut extra),
+            "an allow two lines above must not suppress"
+        );
+        assert!(suppressed(&lines, 1, Rule::Determinism, Path::new("x.rs"), &mut extra));
+        assert!(suppressed(&lines, 0, Rule::Determinism, Path::new("x.rs"), &mut extra));
+    }
+
+    #[test]
+    fn finding_renders_as_json() {
+        let f = Finding {
+            file: PathBuf::from("crates/vfl/src/wire.rs"),
+            line: 7,
+            rule: Rule::CastSafety,
+            message: "a \"quoted\" message\\with escapes".to_string(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"rule\":\"cast-safety\",\"label\":\"L8/cast-safety\",\"path\":\"crates/vfl/src/wire.rs\",\"line\":7,\"message\":\"a \\\"quoted\\\" message\\\\with escapes\"}"
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! `gtv-xtask` — workspace maintenance tasks.
 //!
 //! ```text
-//! cargo run -p gtv-xtask -- lint [--root <path>]
+//! cargo run -p gtv-xtask -- lint [--root <path>] [--json] [--max-ms <n>]
 //! ```
 //!
-//! `lint` runs the GTV static-analysis pass (rules L1–L5, see the crate
-//! docs) over the workspace and exits non-zero on any finding.
+//! `lint` runs the GTV static-analysis passes (rules L1–L9, see the crate
+//! docs) over the workspace and exits non-zero on any finding. `--json`
+//! emits one JSON object per finding on stdout (timings go to stderr);
+//! `--max-ms` additionally fails the run if total analysis wall-time
+//! exceeds the budget, keeping the linter fast enough for pre-commit use.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,13 +17,19 @@ const USAGE_EXIT: u8 = 2;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gtv-xtask lint [--root <path>]\n\n\
+        "usage: gtv-xtask lint [--root <path>] [--json] [--max-ms <n>]\n\n\
          Runs the GTV protocol-invariant lints:\n  \
          L1 panic         no unwrap/expect/panic!/unreachable!/todo! in protocol paths\n  \
          L2 determinism   no thread_rng/from_entropy/SystemTime::now/Instant::now outside crates/bench\n  \
          L3 float-eq      no ==/!= against float literals in crates/metrics, crates/ml\n  \
          L4 wire          every Message variant has encode and decode arms\n  \
-         L5 allow-justification  every #[allow(clippy::...)] carries a trailing // justification\n\n\
+         L5 allow-justification  every #[allow(clippy::...)] carries a trailing // justification\n  \
+         L6 privacy-flow  shuffle-seed secrets unreachable from server code and logging sinks\n  \
+         L7 rng-provenance  seed_from_u64/from_seed args derive from a seed/round value\n  \
+         L8 cast-safety   narrowing casts on wire/transport paths carry a bounds guard\n  \
+         L9 layering      crate imports respect the dependency DAG\n\n\
+         --json     one JSON object per finding on stdout (timings on stderr)\n  \
+         --max-ms   fail if total lint wall-time exceeds <n> milliseconds\n\n\
          Suppress a finding with: // gtv-lint: allow(<rule>) -- <justification>"
     );
     ExitCode::from(USAGE_EXIT)
@@ -48,31 +57,60 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut root = None;
+    let mut json = false;
+    let mut max_ms: Option<f64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--json" => json = true,
+            "--max-ms" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(n) => max_ms = Some(n),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
     let root = workspace_root(root);
-    match gtv_xtask::run_lint(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("gtv-xtask lint: clean ({} ok)", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
-            }
-            eprintln!("gtv-xtask lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let (findings, timings) = match gtv_xtask::run_lint_timed(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::from(USAGE_EXIT)
+            return ExitCode::from(USAGE_EXIT);
         }
+    };
+    let total_ms: f64 = timings.iter().map(|t| t.millis).sum();
+    for t in &timings {
+        eprintln!("  {:<24} {:>8.2} ms", t.label, t.millis);
+    }
+    eprintln!("  {:<24} {:>8.2} ms", "total", total_ms);
+    if json {
+        for finding in &findings {
+            println!("{}", finding.to_json());
+        }
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+    }
+    let over_budget = max_ms.map(|cap| total_ms > cap).unwrap_or(false);
+    if over_budget {
+        eprintln!(
+            "gtv-xtask lint: wall-time {total_ms:.2} ms exceeds --max-ms {:.0}",
+            max_ms.unwrap_or(0.0)
+        );
+    }
+    if findings.is_empty() && !over_budget {
+        if !json {
+            println!("gtv-xtask lint: clean ({} ok)", root.display());
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !findings.is_empty() {
+            eprintln!("gtv-xtask lint: {} finding(s)", findings.len());
+        }
+        ExitCode::FAILURE
     }
 }

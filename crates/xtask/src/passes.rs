@@ -1,0 +1,576 @@
+//! Semantic passes L6–L9, built on the item-level engine.
+//!
+//! These passes consume parsed items and the workspace graphs rather than
+//! raw lines, so they can reason about *where data flows*: which functions
+//! can reach shuffle-seed material, where RNG seeds come from, which casts
+//! sit on the wire path, and which crates may depend on which.
+
+use crate::model::{secret_carriers, RefGraph};
+use crate::parse::{FnItem, TokKind, Token};
+use crate::{suppressed, FileUnit, Finding, Rule};
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+/// Secret-root *functions*: calling or naming these touches shuffle-seed
+/// material (paper §3.1.5 — the server must never learn the shuffle seed).
+pub const SECRET_ROOT_FNS: &[&str] = &["negotiate_seed", "round_seed"];
+
+/// Secret-root *types*: values of these types hold the negotiated seed.
+pub const SECRET_ROOT_TYPES: &[&str] = &["SharedShuffler"];
+
+/// Secret-root *variants*: constructing or matching these exposes seed
+/// shares (`Message::ShuffleSeedShare.share`) or a partition seed
+/// (`PartitionPlan::RandomEven.seed`).
+pub const SECRET_ROOT_VARIANTS: &[&str] = &["ShuffleSeedShare", "RandomEven"];
+
+/// Files forming the sanctioned client↔client shuffle path: the wire codec
+/// and the peer-to-peer negotiation itself. Secret roots may appear here
+/// freely; everywhere else they are constrained by L6.
+pub const SANCTIONED_SINK_FILES: &[&str] = &["crates/vfl/src/shuffle.rs", "crates/vfl/src/wire.rs"];
+
+/// Logging/IO macros treated as L6 sinks: seed material reaching one of
+/// these would leave the protocol's trust boundary.
+const SINK_MACROS: &[&str] = &[
+    "println", "print", "eprintln", "eprint", "write", "writeln", "dbg", "info", "warn", "error",
+    "debug", "trace",
+];
+
+/// Narrowing integer cast targets policed by L8 on wire/transport paths.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Tokens that mark a line as a bounds guard for a nearby cast.
+const GUARD_MARKERS: &[&str] =
+    &["<", ">", "MAX", "try_from", "min", "debug_assert", "assert", "checked_mul", "checked_add"];
+
+/// How many lines above a cast a bounds guard may sit.
+const GUARD_WINDOW: usize = 8;
+
+/// The crate dependency DAG, enforced at the `use`/path level by L9.
+/// `"*"` marks a top-layer crate that may depend on everything.
+pub const LAYERS: &[(&str, &[&str])] = &[
+    ("gtv_tensor", &[]),
+    ("gtv_data", &[]),
+    ("gtv_nn", &["gtv_tensor"]),
+    ("gtv_encoders", &["gtv_data", "gtv_tensor"]),
+    ("gtv_metrics", &["gtv_data"]),
+    ("gtv_vfl", &["gtv_data"]),
+    ("gtv_ml", &["gtv_data", "gtv_tensor", "gtv_nn"]),
+    ("gtv_cond", &["gtv_data", "gtv_encoders", "gtv_tensor"]),
+    ("gtv", &["gtv_tensor", "gtv_nn", "gtv_data", "gtv_encoders", "gtv_cond", "gtv_vfl"]),
+    ("gtv_cli", &["*"]),
+    ("gtv_bench", &["*"]),
+    ("gtv_suite", &["*"]),
+    ("gtv_examples", &["*"]),
+    ("gtv_xtask", &[]),
+];
+
+/// Whether crate `owner` may reference crate `dep` under the layer DAG.
+/// `None` if `owner` is not in the registry (unknown crates are exempt).
+pub fn layer_allows(owner: &str, dep: &str) -> Option<bool> {
+    let (_, allowed) = LAYERS.iter().find(|(c, _)| *c == owner)?;
+    if owner == dep || allowed.contains(&"*") {
+        return Some(true);
+    }
+    Some(allowed.contains(&dep))
+}
+
+// ---------------------------------------------------------------------------
+// Scope helpers
+// ---------------------------------------------------------------------------
+
+fn in_l6_scope(unit: &FileUnit) -> bool {
+    // Protocol-party code only: crate sources, minus the bench/report
+    // driver. `examples/` and the umbrella are demo drivers that print
+    // run configuration by design.
+    unit.rel_str.starts_with("crates/") && !unit.rel_str.starts_with("crates/bench/")
+}
+
+fn sanctioned(unit: &FileUnit) -> bool {
+    SANCTIONED_SINK_FILES.contains(&unit.rel_str.as_str())
+}
+
+fn file_stem(unit: &FileUnit) -> &str {
+    unit.rel_str.rsplit('/').next().unwrap_or("").trim_end_matches(".rs")
+}
+
+/// Whether a function is server-side: a `server_*` fn, a method of a
+/// `Server*` type, or anything inside a `server` module/file.
+fn is_server_item(unit: &FileUnit, f: &FnItem) -> bool {
+    f.name.starts_with("server_")
+        || f.self_type.as_deref().is_some_and(|t| t.starts_with("Server"))
+        || f.module.iter().any(|m| m == "server" || m.starts_with("server_"))
+        || file_stem(unit) == "server"
+        || file_stem(unit).starts_with("server_")
+}
+
+fn all_secret_roots() -> impl Iterator<Item = &'static str> {
+    SECRET_ROOT_FNS.iter().chain(SECRET_ROOT_TYPES).chain(SECRET_ROOT_VARIANTS).copied()
+}
+
+/// The first secret root referenced by `f`'s body, with its line.
+fn direct_secret_ref(f: &FnItem) -> Option<(&'static str, usize)> {
+    all_secret_roots().find_map(|root| f.reference_line(root).map(|line| (root, line)))
+}
+
+// ---------------------------------------------------------------------------
+// L6 privacy-flow
+// ---------------------------------------------------------------------------
+
+/// Registry-drift check: the secret-root registry must keep naming real
+/// items. If the wire enum loses or renames `ShuffleSeedShare.share`, or
+/// the partition plan loses `RandomEven.seed`, L6 would silently stop
+/// guarding them — that rot is itself a finding.
+fn lint_registry_drift(units: &[FileUnit], findings: &mut Vec<Finding>) {
+    for unit in units {
+        for ty in &unit.ast.types {
+            if !ty.is_enum {
+                continue;
+            }
+            let expected: Option<(&str, &str)> = match ty.name.as_str() {
+                "Message" if unit.rel_str == "crates/vfl/src/wire.rs" => {
+                    Some(("ShuffleSeedShare", "share"))
+                }
+                "PartitionPlan" if unit.crate_ident == "gtv_vfl" => Some(("RandomEven", "seed")),
+                _ => None,
+            };
+            let Some((variant, field)) = expected else { continue };
+            if !ty.variants.iter().any(|v| v == variant) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: ty.line,
+                    rule: Rule::PrivacyFlow,
+                    message: format!(
+                        "`enum {}` has no `{variant}` variant; the L6 secret-root registry is stale — update SECRET_ROOT_VARIANTS in gtv-xtask",
+                        ty.name
+                    ),
+                });
+                continue;
+            }
+            let variant_fields: Vec<_> =
+                ty.fields.iter().filter(|f| f.variant.as_deref() == Some(variant)).collect();
+            if !variant_fields.iter().any(|f| f.name == field) {
+                let line = variant_fields.first().map(|f| f.line).unwrap_or(ty.line);
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line,
+                    rule: Rule::PrivacyFlow,
+                    message: format!(
+                        "`{}::{variant}` has no `{field}` field; the L6 secret-root registry tracks `{variant}.{field}` — update SECRET_ROOT_VARIANTS in gtv-xtask",
+                        ty.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L6: shuffle-seed material must stay on the client↔client path — no
+/// server-side function may reach a secret root (directly or through the
+/// call graph), and no function outside the sanctioned path may route seed
+/// material into a logging/IO sink.
+pub fn lint_privacy_flow(units: &[FileUnit], findings: &mut Vec<Finding>) {
+    lint_registry_drift(units, findings);
+    let graph = RefGraph::build(units);
+    let carriers = secret_carriers(units, SECRET_ROOT_TYPES);
+
+    for (idx, (unit, f)) in graph.fns.iter().enumerate() {
+        if !in_l6_scope(unit) || f.in_test {
+            continue;
+        }
+        if is_server_item(unit, f) {
+            // Reachability: server code must not touch secret roots,
+            // directly or through any resolvable call chain.
+            for reached in graph.reachable(idx, 256) {
+                let (_, rf) = graph.fns[reached];
+                let Some((root, _)) = direct_secret_ref(rf) else {
+                    continue;
+                };
+                if !suppressed(&unit.lines, f.line - 1, Rule::PrivacyFlow, &unit.rel, findings) {
+                    let message = if reached == idx {
+                        format!(
+                            "server-side `{}` references secret root `{root}`; the server must never observe shuffle-seed material (§3.1.5)",
+                            f.name
+                        )
+                    } else {
+                        format!(
+                            "server-side `{}` reaches `{}`, which references secret root `{root}`; the server must never observe shuffle-seed material (§3.1.5)",
+                            f.name, rf.name
+                        )
+                    };
+                    findings.push(Finding {
+                        file: unit.rel.clone(),
+                        line: f.line,
+                        rule: Rule::PrivacyFlow,
+                        message,
+                    });
+                }
+                break;
+            }
+            // Type containment: holding a type that contains a
+            // SharedShuffler is as bad as holding the shuffler.
+            if let Some(carrier) = carriers.iter().find(|c| f.references(c)).cloned() {
+                let line = f.reference_line(&carrier).unwrap_or(f.line);
+                if !suppressed(&unit.lines, line - 1, Rule::PrivacyFlow, &unit.rel, findings) {
+                    findings.push(Finding {
+                        file: unit.rel.clone(),
+                        line,
+                        rule: Rule::PrivacyFlow,
+                        message: format!(
+                            "server-side `{}` references `{carrier}`, which contains secret shuffle state (type-containment closure of `SharedShuffler`)",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+        // Sink check: seed-handling functions must not log or write.
+        if sanctioned(unit) {
+            continue;
+        }
+        let shuffle_roots: Vec<&str> = SECRET_ROOT_FNS
+            .iter()
+            .chain(SECRET_ROOT_TYPES)
+            .chain(&["ShuffleSeedShare"])
+            .copied()
+            .collect();
+        let Some(root) = shuffle_roots.iter().find(|r| f.references(r)) else {
+            continue;
+        };
+        let sink = f.body.windows(2).find(|w| {
+            w[0].kind == TokKind::Ident
+                && SINK_MACROS.contains(&w[0].text.as_str())
+                && w[1].text == "!"
+        });
+        if let Some(w) = sink {
+            let line = w[0].line;
+            if !suppressed(&unit.lines, line - 1, Rule::PrivacyFlow, &unit.rel, findings) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line,
+                    rule: Rule::PrivacyFlow,
+                    message: format!(
+                        "`{}!` inside `{}`, which handles shuffle-seed material (`{root}`); seed material must never reach logging/IO",
+                        w[0].text, f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L7 rng-provenance
+// ---------------------------------------------------------------------------
+
+/// L7: every RNG seeding call outside tests/bench must derive its seed from
+/// a value *named* as one — a config field, parameter or round counter
+/// containing `seed` or `round` — never a bare literal or ambient value.
+pub fn lint_rng_provenance(units: &[FileUnit], findings: &mut Vec<Finding>) {
+    for unit in units {
+        if unit.rel_str.starts_with("crates/bench/") {
+            continue;
+        }
+        for f in &unit.ast.fns {
+            if f.in_test {
+                continue;
+            }
+            let body = &f.body;
+            let mut i = 0;
+            while i < body.len() {
+                let t = &body[i];
+                let is_ctor = t.kind == TokKind::Ident
+                    && (t.text == "seed_from_u64" || t.text == "from_seed")
+                    && body.get(i + 1).map(|n| n.text == "(").unwrap_or(false);
+                if !is_ctor {
+                    i += 1;
+                    continue;
+                }
+                // Capture the argument tokens.
+                let mut depth = 0i64;
+                let mut j = i + 1;
+                let mut args: Vec<&Token> = Vec::new();
+                while j < body.len() {
+                    match body[j].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if depth >= 1 && body[j].text != "(" {
+                        args.push(&body[j]);
+                    }
+                    j += 1;
+                }
+                let derived = args.iter().any(|a| {
+                    a.kind == TokKind::Ident && {
+                        let lower = a.text.to_lowercase();
+                        lower.contains("seed") || lower.contains("round")
+                    }
+                });
+                if !derived
+                    && !suppressed(
+                        &unit.lines,
+                        t.line - 1,
+                        Rule::RngProvenance,
+                        &unit.rel,
+                        findings,
+                    )
+                {
+                    let preview: String =
+                        args.iter().map(|a| a.text.as_str()).collect::<Vec<_>>().join(" ");
+                    findings.push(Finding {
+                        file: unit.rel.clone(),
+                        line: t.line,
+                        rule: Rule::RngProvenance,
+                        message: format!(
+                            "`{}({preview})` does not derive from a seed/round value; thread a config `seed` or round counter through (or `// gtv-lint: allow(rng-provenance) -- why`)",
+                            t.text
+                        ),
+                    });
+                }
+                i = j.max(i + 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L8 cast-safety
+// ---------------------------------------------------------------------------
+
+/// L8: narrowing `as` casts on wire/transport encode/decode paths need an
+/// adjacent bounds guard (comparison, `MAX` check, `try_from`, clamp or
+/// assert naming the cast operand) or a justified allow.
+pub fn lint_cast_safety(units: &[FileUnit], findings: &mut Vec<Finding>) {
+    for unit in units {
+        if !unit.rel_str.starts_with("crates/") {
+            continue;
+        }
+        let stem = file_stem(unit);
+        if !stem.contains("wire") && !stem.contains("transport") {
+            continue;
+        }
+        for f in &unit.ast.fns {
+            if f.in_test {
+                continue;
+            }
+            let body = &f.body;
+            for i in 0..body.len() {
+                if !(body[i].is_ident("as")
+                    && body
+                        .get(i + 1)
+                        .map(|n| NARROW_TARGETS.contains(&n.text.as_str()))
+                        .unwrap_or(false))
+                {
+                    continue;
+                }
+                let target = &body[i + 1].text;
+                let Some(root) = cast_operand_root(body, i) else {
+                    // Literal casts (`1 as u8`) are compile-time checked.
+                    continue;
+                };
+                let line = body[i].line;
+                if has_adjacent_guard(body, &root, line) {
+                    continue;
+                }
+                if !suppressed(&unit.lines, line - 1, Rule::CastSafety, &unit.rel, findings) {
+                    findings.push(Finding {
+                        file: unit.rel.clone(),
+                        line,
+                        rule: Rule::CastSafety,
+                        message: format!(
+                            "narrowing `as {target}` of `{root}` on a wire/transport path without an adjacent bounds guard; guard the range or `// gtv-lint: allow(cast-safety) -- why`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Walks left from the `as` token over a postfix chain
+/// (`root.method().field as u32`) and returns the chain's root identifier.
+fn cast_operand_root(body: &[Token], as_idx: usize) -> Option<String> {
+    let mut j = as_idx;
+    let mut root: Option<String> = None;
+    while j > 0 {
+        j -= 1;
+        match body[j].text.as_str() {
+            ")" | "]" => {
+                // Skip the balanced group backwards.
+                let close = body[j].text.clone();
+                let open = if close == ")" { "(" } else { "[" };
+                let mut d = 1i64;
+                while j > 0 && d > 0 {
+                    j -= 1;
+                    if body[j].text == close {
+                        d += 1;
+                    } else if body[j].text == open {
+                        d -= 1;
+                    }
+                }
+            }
+            "." | "?" => {}
+            "*" | "&" => break, // deref/ref prefix ends the chain leftwards
+            _ => {
+                if body[j].kind == TokKind::Ident {
+                    root = Some(body[j].text.clone());
+                    // Keep walking: `a.b.c as u32` roots at `a`.
+                    if j == 0 || !matches!(body[j - 1].text.as_str(), "." | ":") {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    root
+}
+
+/// Whether a guard line naming `root` appears within the window above
+/// (or on) the cast line inside this body.
+fn has_adjacent_guard(body: &[Token], root: &str, cast_line: usize) -> bool {
+    let low = cast_line.saturating_sub(GUARD_WINDOW);
+    let mut lines_with_root = std::collections::HashSet::new();
+    let mut lines_with_marker = std::collections::HashSet::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.line < low || t.line > cast_line {
+            continue;
+        }
+        if t.is_ident(root) {
+            lines_with_root.insert(t.line);
+        }
+        // `<`/`>` count as comparison guards only standalone: the `>` of a
+        // match arm `=>` or return type `->`, and shift halves (`<<`, `>>`),
+        // are not bounds checks.
+        let angle_as_comparison = (t.text == "<" || t.text == ">")
+            && !(i > 0 && matches!(body[i - 1].text.as_str(), "=" | "-" | "<" | ">"))
+            && !(body.get(i + 1).map(|n| n.text == "<" || n.text == ">").unwrap_or(false));
+        let non_angle_marker = t.text != "<"
+            && t.text != ">"
+            && (GUARD_MARKERS.contains(&t.text.as_str())
+                || (t.kind == TokKind::Ident && t.text.starts_with("debug_assert")));
+        if angle_as_comparison || non_angle_marker {
+            lines_with_marker.insert(t.line);
+        }
+    }
+    lines_with_root.iter().any(|l| lines_with_marker.contains(l) && *l < cast_line)
+        || (lines_with_root.contains(&cast_line)
+            && lines_with_marker.contains(&cast_line)
+            && body.iter().any(|t| {
+                t.line == cast_line
+                    && (t.text.starts_with("debug_assert")
+                        || t.text == "try_from"
+                        || t.text == "min")
+            }))
+}
+
+// ---------------------------------------------------------------------------
+// L9 layering
+// ---------------------------------------------------------------------------
+
+/// L9: the crate dependency DAG is enforced at the `use`-statement (and
+/// qualified-path) level — no lower layer may reference an upper one.
+pub fn lint_layering(units: &[FileUnit], findings: &mut Vec<Finding>) {
+    for unit in units {
+        let owner = unit.crate_ident.clone();
+        if owner.is_empty() {
+            continue;
+        }
+        let check = |dep: &str, line: usize, findings: &mut Vec<Finding>| {
+            if !(dep == "gtv" || dep.starts_with("gtv_")) {
+                return;
+            }
+            match layer_allows(&owner, dep) {
+                Some(true) | None => {}
+                Some(false) => {
+                    if !suppressed(&unit.lines, line - 1, Rule::Layering, &unit.rel, findings) {
+                        findings.push(Finding {
+                            file: unit.rel.clone(),
+                            line,
+                            rule: Rule::Layering,
+                            message: format!(
+                                "`{dep}` is not below `{owner}` in the layer DAG (tensor/data ← nn/encoders/metrics/vfl ← ml/cond ← core ← cli/bench); invert the dependency or move the code down"
+                            ),
+                        });
+                    }
+                }
+            }
+        };
+        for import in &unit.ast.imports {
+            if import.in_test {
+                // cfg(test) imports may use dev-dependencies, which sit
+                // outside the runtime layer DAG.
+                continue;
+            }
+            if let Some(first) = import.segments.first() {
+                check(first, import.line, findings);
+            }
+        }
+        for f in &unit.ast.fns {
+            if f.in_test {
+                continue;
+            }
+            for t in &f.body {
+                if t.kind == TokKind::Ident && (t.text == "gtv" || t.text.starts_with("gtv_")) {
+                    check(&t.text, t.line, findings);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_registry_is_a_dag() {
+        // Kahn's algorithm over the registry; `*` entries depend on all
+        // non-`*` crates. A cycle would make the lint unsatisfiable.
+        let names: Vec<&str> = LAYERS.iter().map(|(n, _)| *n).collect();
+        let deps_of = |name: &str| -> Vec<&str> {
+            let (_, allowed) = LAYERS.iter().find(|(n, _)| *n == name).unwrap_or(&("", &[]));
+            if allowed.contains(&"*") {
+                names
+                    .iter()
+                    .filter(|n| {
+                        **n != name && !LAYERS.iter().any(|(c, a)| c == *n && a.contains(&"*"))
+                    })
+                    .copied()
+                    .collect()
+            } else {
+                allowed.to_vec()
+            }
+        };
+        let mut resolved: Vec<&str> = Vec::new();
+        let mut remaining: Vec<&str> = names.clone();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|name| {
+                let ready = deps_of(name).iter().all(|d| resolved.contains(d));
+                if ready {
+                    resolved.push(name);
+                }
+                !ready
+            });
+            assert!(remaining.len() < before, "layer registry has a cycle: {remaining:?}");
+        }
+    }
+
+    #[test]
+    fn layer_allows_follows_the_registry() {
+        assert_eq!(layer_allows("gtv_nn", "gtv_tensor"), Some(true));
+        assert_eq!(layer_allows("gtv_tensor", "gtv_nn"), Some(false));
+        assert_eq!(layer_allows("gtv_cli", "gtv"), Some(true), "top layer may use everything");
+        assert_eq!(layer_allows("gtv", "gtv_ml"), Some(false), "core may not reach up to ml");
+        assert_eq!(layer_allows("not_a_crate", "gtv"), None);
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture: unguarded narrowing casts on a transport path.
+
+pub fn encode_len(payload: &[f32]) -> [u8; 4] {
+    let n = payload.len() as u32;
+    n.to_le_bytes()
+}
+
+pub fn frame_tag(kind: u64) -> u8 {
+    kind as u8
+}
+
+pub fn party_byte(id: u64) -> u8 {
+    let masked = id & 0xf;
+    // gtv-lint: allow(cast-safety) -- party index is < 16 by construction
+    masked as u8
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: the top layer may depend on every crate below it.
+
+use gtv::Trainer;
+use gtv_vfl::transport::Network;
+
+pub fn run() -> Trainer {
+    Trainer::new(Network::loopback())
+}

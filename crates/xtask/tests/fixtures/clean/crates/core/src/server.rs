@@ -1,0 +1,5 @@
+//! Clean fixture: server-side aggregation that never touches seed material.
+
+pub fn server_aggregate(logits: &[f32]) -> f32 {
+    logits.iter().sum::<f32>() / logits.len().max(1) as f32
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: RNG seeded from named seed/round values, and a
+//! layer-respecting downward import.
+
+use gtv_tensor::Matrix;
+
+pub fn init_weights(cfg_seed: u64, round: u64) -> Matrix {
+    let rng = StdRng::seed_from_u64(cfg_seed ^ round);
+    Matrix::filled(rng.next_u64())
+}

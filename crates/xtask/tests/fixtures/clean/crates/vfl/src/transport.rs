@@ -1,0 +1,7 @@
+//! Clean fixture: narrowing on the transport path behind a bounds guard.
+
+pub fn encode_len(payload: &[f32]) -> [u8; 4] {
+    debug_assert!(payload.len() <= u32::MAX as usize, "frame fits the u32 length prefix");
+    let n = payload.len() as u32;
+    n.to_le_bytes()
+}

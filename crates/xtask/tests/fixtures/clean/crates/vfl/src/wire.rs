@@ -3,6 +3,7 @@
 pub enum Message {
     Ping(u8),
     Pong(u8),
+    ShuffleSeedShare { share: u64 },
 }
 
 impl Message {
@@ -10,6 +11,11 @@ impl Message {
         match self {
             Message::Ping(v) => vec![0, *v],
             Message::Pong(v) => vec![1, *v],
+            Message::ShuffleSeedShare { share } => {
+                let mut out = vec![2];
+                out.extend_from_slice(&share.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -17,6 +23,10 @@ impl Message {
         match bytes {
             [0, v] => Some(Message::Ping(*v)),
             [1, v] => Some(Message::Pong(*v)),
+            [2, rest @ ..] => {
+                let share = u64::from_le_bytes(rest.try_into().ok()?);
+                Some(Message::ShuffleSeedShare { share })
+            }
             _ => None,
         }
     }

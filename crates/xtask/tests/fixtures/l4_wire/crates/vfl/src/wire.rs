@@ -3,6 +3,7 @@
 pub enum Message {
     RoundStart { round: u64 },
     GenSlice(Vec<f32>),
+    ShuffleSeedShare { share: u64 },
     Orphan(u8),
 }
 
@@ -11,6 +12,7 @@ impl Message {
         match self {
             Message::RoundStart { round } => round.to_le_bytes().to_vec(),
             Message::GenSlice(_) => vec![1],
+            Message::ShuffleSeedShare { share } => share.to_le_bytes().to_vec(),
             // Orphan intentionally unhandled: L4 must flag it.
             _ => vec![255],
         }
@@ -19,6 +21,7 @@ impl Message {
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         match bytes.first()? {
             0 => Some(Message::RoundStart { round: 0 }),
+            2 => Some(Message::ShuffleSeedShare { share: 0 }),
             // GenSlice and Orphan intentionally unhandled.
             _ => None,
         }

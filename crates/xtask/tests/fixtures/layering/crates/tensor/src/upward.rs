@@ -1,0 +1,17 @@
+//! Known-bad fixture: the bottom layer reaching upward.
+
+use gtv_nn::Dense;
+
+pub fn shape_of(layer: &Dense) -> usize {
+    layer.width() + gtv_vfl::transport::MAX_FRAME
+}
+
+#[cfg(test)]
+mod tests {
+    use gtv_cli::args;
+
+    #[test]
+    fn dev_dependency_imports_are_exempt() {
+        assert!(args::defaults().verbose);
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture: client-side code logging shuffle-seed material.
+
+pub fn announce_seed() -> u64 {
+    let s = SharedShuffler::state_digest();
+    println!("shuffler digest: {s}");
+    s
+}

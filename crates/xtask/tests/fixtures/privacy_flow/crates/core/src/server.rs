@@ -1,0 +1,30 @@
+//! Known-bad fixture: server-side code touching shuffle-seed material.
+//! Everything in a `server` file is server zone for L6.
+
+pub struct ServerCache {
+    pub shuffler: SharedShuffler,
+}
+
+pub fn server_observe(rounds: u64) -> u64 {
+    collect_share(rounds)
+}
+
+pub fn collect_share(rounds: u64) -> u64 {
+    let s = negotiate_seed(rounds);
+    s + 1
+}
+
+pub fn server_cache_init() -> usize {
+    let cache: Option<ServerCache> = None;
+    usize::from(cache.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negotiation_smoke() {
+        // Test code may exercise the secret path; L6 exempts #[cfg(test)].
+        let s = negotiate_seed(3);
+        assert_eq!(s % 1, 0);
+    }
+}

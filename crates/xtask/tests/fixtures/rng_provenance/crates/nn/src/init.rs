@@ -1,0 +1,25 @@
+//! Known-bad fixture: RNG seeding from literals and unnamed values.
+
+pub fn init_weights() -> u64 {
+    let rng = StdRng::seed_from_u64(42);
+    rng.next_u64()
+}
+
+pub fn init_biases(x: u64) -> u64 {
+    let rng = StdRng::seed_from_u64(x ^ 17);
+    rng.next_u64()
+}
+
+pub fn init_embedding() -> u64 {
+    let rng = SmallRng::from_seed([0u8; 32]);
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_seed_is_fine_in_tests() {
+        let rng = StdRng::seed_from_u64(7);
+        assert!(rng.next_u64() < u64::MAX);
+    }
+}

@@ -89,6 +89,92 @@ fn malformed_escape_hatch_does_not_suppress_and_is_reported() {
 }
 
 #[test]
+fn l6_flags_server_reachability_carriers_and_sinks() {
+    let findings = lint("privacy_flow");
+    assert!(findings.iter().all(|f| f.rule == Rule::PrivacyFlow), "{findings:?}");
+    let locations: Vec<(&str, usize)> =
+        findings.iter().map(|f| (f.file.to_str().unwrap(), f.line)).collect();
+    assert_eq!(
+        locations,
+        vec![
+            // Client-side fn logging shuffle-seed material.
+            ("crates/cond/src/leak.rs", 5),
+            // Server fn reaching a secret root through the call graph.
+            ("crates/core/src/server.rs", 8),
+            // Server fn referencing a secret root directly.
+            ("crates/core/src/server.rs", 12),
+            // Server fn holding a type that contains a SharedShuffler.
+            ("crates/core/src/server.rs", 18),
+        ],
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("`println!` inside `announce_seed`")));
+    assert!(findings.iter().any(|f| f.message.contains("reaches `collect_share`")));
+    assert!(findings.iter().any(|f| f.message.contains("type-containment closure")));
+}
+
+#[test]
+fn l7_flags_literal_and_unnamed_seeds_but_not_bench_or_tests() {
+    let findings = lint("rng_provenance");
+    assert!(findings.iter().all(|f| f.rule == Rule::RngProvenance), "{findings:?}");
+    assert!(
+        findings.iter().all(|f| f.file == Path::new("crates/nn/src/init.rs")),
+        "crates/bench and #[cfg(test)] must be exempt: {findings:?}"
+    );
+    // seed_from_u64(42), seed_from_u64(x ^ 17), from_seed([0u8; 32]).
+    assert_eq!(lines_for(&findings, Rule::RngProvenance), vec![4, 9, 14], "{findings:?}");
+}
+
+#[test]
+fn l8_flags_unguarded_narrowing_casts_and_honors_the_escape_hatch() {
+    let findings = lint("cast_safety");
+    assert!(findings.iter().all(|f| f.rule == Rule::CastSafety), "{findings:?}");
+    // payload.len() as u32 and kind as u8; the justified party_byte cast
+    // is suppressed by its escape hatch.
+    assert_eq!(lines_for(&findings, Rule::CastSafety), vec![4, 9], "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("`as u32` of `payload`")));
+    assert!(findings.iter().any(|f| f.message.contains("`as u8` of `kind`")));
+}
+
+#[test]
+fn l9_flags_upward_references_in_imports_and_paths() {
+    let findings = lint("layering");
+    assert!(findings.iter().all(|f| f.rule == Rule::Layering), "{findings:?}");
+    // use gtv_nn::Dense (import) and gtv_vfl::transport (qualified path);
+    // the #[cfg(test)] import of gtv_cli is dev-dependency territory.
+    assert_eq!(lines_for(&findings, Rule::Layering), vec![3, 6], "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("not below `gtv_tensor`")));
+}
+
+#[test]
+fn lint_reports_per_pass_timings_within_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf();
+    let (_, timings) = gtv_xtask::run_lint_timed(&root).expect("workspace should be readable");
+    let labels: Vec<&str> = timings.iter().map(|t| t.label).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "parse",
+            "L1/panic",
+            "L2/determinism",
+            "L3/float-eq",
+            "L4/wire",
+            "L5/allow-justification",
+            "L6/privacy-flow",
+            "L7/rng-provenance",
+            "L8/cast-safety",
+            "L9/layering",
+        ]
+    );
+    let total: f64 = timings.iter().map(|t| t.millis).sum();
+    assert!(total < 5000.0, "lint must stay inside the pre-commit budget: {total:.1} ms");
+}
+
+#[test]
 fn clean_tree_produces_no_findings() {
     let findings = lint("clean");
     assert!(findings.is_empty(), "{findings:?}");

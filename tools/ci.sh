@@ -13,7 +13,14 @@ step "cargo clippy --workspace --all-targets"
 cargo clippy --workspace --all-targets -- -D warnings
 
 step "gtv-xtask lint"
-cargo run -q -p gtv-xtask -- lint
+# Human-readable pass; --max-ms keeps the analyzer inside the pre-commit
+# loop (the gate fails if the nine passes take more than 5 s total).
+cargo run -q -p gtv-xtask -- lint --max-ms 5000
+
+step "gtv-xtask lint --json"
+# Machine-readable annotations (one JSON object per finding).
+mkdir -p target
+cargo run -q -p gtv-xtask -- lint --json --max-ms 5000 2>/dev/null | tee target/gtv-lint.json
 
 step "cargo test -q"
 cargo test -q --workspace
