@@ -1,0 +1,157 @@
+//! Tensor hot-loop benchmark: matmul, elementwise, reductions and a
+//! backward pass, swept over worker-pool sizes.
+//!
+//! Emits `BENCH_tensor.json` (path overridable as the first CLI argument)
+//! with wall times, GFLOP/s and per-op speedups versus the single-threaded
+//! run. The host's available parallelism is recorded alongside: on a
+//! single-core machine the sweep still *validates* the pool (results stay
+//! bit-identical) but cannot show wall-clock speedups — read the numbers
+//! with the `host_parallelism` field in hand.
+//!
+//! `GTV_BENCH_REPS` controls repetitions per measurement (default 3; the
+//! minimum over reps is reported).
+
+use gtv_tensor::{pool, Graph, Tensor, UnaryOp};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// SplitMix64 — deterministic fill without ambient randomness.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed;
+    let data: Vec<f32> =
+        (0..rows * cols).map(|_| (splitmix(&mut state) % 2000) as f32 / 1000.0 - 1.0).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+struct Case {
+    name: &'static str,
+    /// Floating-point operations per run (for GFLOP/s).
+    flops: f64,
+    run: Box<dyn Fn() -> f32>,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    for n in [128usize, 256, 512] {
+        let a = filled(n, n, 1);
+        let b = filled(n, n, 2);
+        out.push(Case {
+            name: match n {
+                128 => "matmul_128",
+                256 => "matmul_256",
+                _ => "matmul_512",
+            },
+            flops: 2.0 * (n * n * n) as f64,
+            run: Box::new(move || a.matmul(&b).at(0, 0)),
+        });
+    }
+    let big = filled(1024, 1024, 3);
+    let elem = big.clone();
+    out.push(Case {
+        name: "elementwise_tanh_1m",
+        flops: (1024 * 1024) as f64,
+        run: Box::new(move || elem.apply(UnaryOp::Tanh).at(0, 0)),
+    });
+    let red = big.clone();
+    out.push(Case {
+        name: "reduction_sum_1m",
+        flops: (1024 * 1024) as f64,
+        run: Box::new(move || red.sum_all().item()),
+    });
+    let x0 = filled(256, 128, 4);
+    let w0 = filled(128, 64, 5);
+    out.push(Case {
+        name: "backward_tanh_matmul",
+        // Forward matmul + backward's two matmuls, elementwise terms omitted.
+        flops: 3.0 * 2.0 * (256 * 128 * 64) as f64,
+        run: Box::new(move || {
+            let g = Graph::new();
+            let x = g.leaf(x0.clone());
+            let w = g.leaf(w0.clone());
+            let h = g.tanh(g.matmul(x, w));
+            let y = g.mean_all(g.mul(h, h));
+            let dw = g.grad(y, &[w])[0];
+            g.value(dw).at(0, 0)
+        }),
+    });
+    out
+}
+
+fn measure(case: &Case, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let sink = (case.run)();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(sink.is_finite(), "benchmark kernels must produce finite values");
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_tensor.json".to_string());
+    let reps = std::env::var("GTV_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let host = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    eprintln!("bench_tensor: host parallelism {host}, {reps} reps, threads {THREAD_COUNTS:?}");
+
+    let cases = cases();
+    // times[case][thread-count index]
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); cases.len()];
+    for &threads in &THREAD_COUNTS {
+        pool::set_threads(threads);
+        for (i, case) in cases.iter().enumerate() {
+            let t = measure(case, reps);
+            times[i].push(t);
+            eprintln!("  {:>2} threads  {:<22} {:>9.3} ms", threads, case.name, t * 1e3);
+        }
+    }
+    pool::set_threads(1);
+
+    let mut entries = Vec::new();
+    for (i, case) in cases.iter().enumerate() {
+        let base = times[i][0];
+        let per_threads: Vec<String> = THREAD_COUNTS
+            .iter()
+            .zip(&times[i])
+            .map(|(&threads, &t)| {
+                format!(
+                    "{{\"threads\":{threads},\"seconds\":{},\"gflops\":{},\"speedup_vs_1\":{}}}",
+                    json_f(t),
+                    json_f(case.flops / t / 1e9),
+                    json_f(base / t)
+                )
+            })
+            .collect();
+        entries.push(format!(
+            "{{\"op\":\"{}\",\"flops\":{},\"runs\":[{}]}}",
+            case.name,
+            case.flops,
+            per_threads.join(",")
+        ));
+    }
+    let json = format!(
+        "{{\"host_parallelism\":{host},\"reps\":{reps},\"thread_counts\":{:?},\"cases\":[{}]}}\n",
+        THREAD_COUNTS,
+        entries.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("writing the benchmark report");
+    println!("wrote {out_path}");
+}

@@ -25,7 +25,7 @@ gtv-cli — tabular data synthesis via vertical federated learning
 USAGE:
   gtv-cli demo     --dataset <loan|adult|covtype|intrusion|credit> [--rows N] [--seed S] --out FILE
   gtv-cli synth    --input FILE [--target COL] [--clients N] [--rounds R] [--batch B]
-                   [--width W] [--partition d2g0|d2g2] [--seed S] --out FILE
+                   [--width W] [--partition d2g0|d2g2] [--seed S] [--threads T] --out FILE
                    [--save-weights FILE] [--load-weights FILE]
   gtv-cli evaluate --real FILE --synth FILE --target COL [--seed S]
   gtv-cli privacy  --input FILE [--rounds R] [--clients N]
@@ -89,6 +89,7 @@ fn build_config(args: &Args) -> Result<GtvConfig, String> {
         batch: args.parsed_or("batch", 128usize).map_err(|e| e.to_string())?,
         block_width: args.parsed_or("width", 256usize).map_err(|e| e.to_string())?,
         seed: args.parsed_or("seed", 0u64).map_err(|e| e.to_string())?,
+        threads: args.parsed_or("threads", 0usize).map_err(|e| e.to_string())?,
         ..GtvConfig::default()
     })
 }

@@ -133,6 +133,12 @@ pub struct GtvConfig {
     /// message sizes are no longer the faithful ones. Enable for
     /// communication measurements.
     pub faithful_real_path: bool,
+    /// Worker threads for the tensor hot loops. `0` (the default) resolves
+    /// from the `GTV_THREADS` environment variable, falling back to the
+    /// host's available parallelism. Results are bit-identical for every
+    /// setting — the pool's chunking depends only on problem size (see
+    /// DESIGN.md §8) — so this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for GtvConfig {
@@ -153,6 +159,7 @@ impl Default for GtvConfig {
             dp_noise_sigma: 0.0,
             client_width_multipliers: Vec::new(),
             faithful_real_path: false,
+            threads: 0,
         }
     }
 }

@@ -116,6 +116,9 @@ impl GtvTrainer {
     /// empty.
     pub fn new(tables: Vec<Table>, config: GtvConfig) -> Self {
         assert!(!tables.is_empty(), "need at least one client table");
+        // Size the tensor worker pool before any hot-loop work; results are
+        // bit-identical for every thread count (DESIGN.md §8).
+        gtv_tensor::pool::set_threads(gtv_tensor::pool::resolve_threads(config.threads));
         let n_rows = tables[0].n_rows();
         assert!(n_rows > 0, "client tables must be non-empty");
         assert!(

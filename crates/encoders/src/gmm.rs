@@ -37,17 +37,18 @@ impl Gmm1d {
 
         let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let range = (hi - lo).max(1e-12);
-        let min_std = range * MIN_STD_FRAC;
-
-        // Degenerate (constant) column: one tight component.
-        if range < 1e-12 {
+        // Degenerate (constant) column: one tight component. Checked on the
+        // *raw* spread — clamping first would make this branch unreachable
+        // and send constant columns through EM with garbage jitter scales.
+        if hi - lo < 1e-12 {
             return Self {
                 weights: vec![1.0],
                 means: vec![lo],
                 stds: vec![1e-6_f64.max(lo.abs() * 1e-6)],
             };
         }
+        let range = (hi - lo).max(1e-12);
+        let min_std = range * MIN_STD_FRAC;
 
         let k = max_components.min(data.len());
         // Quantile init with slight jitter.
@@ -259,6 +260,30 @@ mod tests {
         let gmm = Gmm1d::fit(&[3.0; 50], 5, 0);
         assert_eq!(gmm.n_components(), 1);
         assert!((gmm.means()[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_takes_the_degenerate_branch() {
+        // Regression: `range` used to be clamped to 1e-12 *before* the
+        // `range < 1e-12` check, so constant columns went through EM and
+        // got a loose std near `range * MIN_STD_FRAC` of the clamped value.
+        // The degenerate branch must fire and produce one *tight* component
+        // centered exactly on the constant.
+        let gmm = Gmm1d::fit(&[42.0; 100], 8, 3);
+        assert_eq!(gmm.n_components(), 1);
+        assert_eq!(gmm.weights(), &[1.0]);
+        assert_eq!(gmm.means(), &[42.0]);
+        assert!(
+            gmm.stds()[0] <= 42.0 * 1e-6 + 1e-12,
+            "constant column must get a tight std, got {}",
+            gmm.stds()[0]
+        );
+        // Negative and zero-valued constants hit the same branch.
+        let neg = Gmm1d::fit(&[-7.5; 20], 3, 0);
+        assert_eq!(neg.means(), &[-7.5]);
+        let zero = Gmm1d::fit(&[0.0; 20], 3, 0);
+        assert_eq!(zero.means(), &[0.0]);
+        assert!(zero.stds()[0] >= 1e-6, "std floor must stay positive for zeros");
     }
 
     #[test]

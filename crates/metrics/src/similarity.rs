@@ -37,6 +37,10 @@ pub fn average_jsd(real: &Table, synthetic: &Table) -> f64 {
 /// normalized by the real column's range so that distances are comparable
 /// across columns and datasets (0 when there are no continuous columns).
 ///
+/// Columns whose real range is degenerate (constant or non-finite) are
+/// skipped: dividing by a clamped near-zero range would amplify any
+/// synthetic deviation by ~1e12 and poison the average.
+///
 /// # Panics
 ///
 /// Panics if the schemas differ.
@@ -51,7 +55,10 @@ pub fn average_wd(real: &Table, synthetic: &Table) -> f64 {
                 let b = synthetic.column(i).as_float();
                 let lo = a.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let range = (hi - lo).max(1e-12);
+                let range = hi - lo;
+                if !range.is_finite() || range < 1e-12 {
+                    continue;
+                }
                 total += wasserstein_1d(a, b) / range;
                 n += 1;
             }
@@ -128,7 +135,7 @@ pub fn similarity(real: &Table, synthetic: &Table) -> SimilarityReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gtv_data::Dataset;
+    use gtv_data::{ColumnData, ColumnKind, ColumnMeta, Dataset, Schema};
 
     #[test]
     fn identical_tables_score_zero() {
@@ -165,6 +172,44 @@ mod tests {
         let close = diff_corr(&a, &b);
         let broken = diff_corr(&a, &shuffled);
         assert!(broken > close, "broken {broken} should exceed close {close}");
+    }
+
+    #[test]
+    fn constant_real_column_does_not_poison_average_wd() {
+        // Regression: the normalizer used to be `(hi - lo).max(1e-12)`, so a
+        // constant real column divided the synthetic deviation by 1e-12 and
+        // any tiny mismatch blew the average up by ~1e12. Degenerate columns
+        // must be skipped instead.
+        let schema = Schema::new(
+            vec![
+                ColumnMeta::new("constant", ColumnKind::Continuous),
+                ColumnMeta::new("varying", ColumnKind::Continuous),
+            ],
+            None,
+        );
+        let n = 64usize;
+        let varying: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+        let real = Table::new(
+            schema.clone(),
+            vec![ColumnData::Float(vec![5.0; n]), ColumnData::Float(varying.clone())],
+        );
+        // Synthetic drifts a hair on the constant column and shifts the
+        // varying column by 0.1 (range 1.0 → normalized WD exactly 0.1).
+        let synth = Table::new(
+            schema.clone(),
+            vec![
+                ColumnData::Float(vec![5.0 + 1e-9; n]),
+                ColumnData::Float(varying.iter().map(|v| v + 0.1).collect()),
+            ],
+        );
+        let wd = average_wd(&real, &synth);
+        assert!((wd - 0.1).abs() < 1e-9, "constant column must be skipped, got {wd}");
+
+        // Every real column constant: nothing to normalize by, score is 0.
+        let flat_schema = Schema::new(vec![ColumnMeta::new("flat", ColumnKind::Continuous)], None);
+        let flat_real = Table::new(flat_schema.clone(), vec![ColumnData::Float(vec![2.0; n])]);
+        let flat_synth = Table::new(flat_schema, vec![ColumnData::Float(vec![2.5; n])]);
+        assert_eq!(average_wd(&flat_real, &flat_synth), 0.0);
     }
 
     #[test]

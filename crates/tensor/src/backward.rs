@@ -7,6 +7,7 @@
 //! this is what powers the WGAN-GP gradient penalty.
 
 use crate::graph::{Graph, Op, Var};
+use crate::kernels::UnaryOp;
 use crate::Tensor;
 
 impl Graph {
@@ -180,14 +181,13 @@ impl Graph {
                 Op::Relu(x) => {
                     // Mask is a constant w.r.t. further differentiation
                     // (d²/dx² relu = 0 almost everywhere).
-                    let mask = self.with_value(x, |t| t.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                    let mask = self.with_value(x, |t| t.apply(UnaryOp::ReluMask));
                     let mask = self.leaf(mask);
                     let gx = self.mul(g_out, mask);
                     self.accumulate(&mut adj, x.0, gx);
                 }
                 Op::LeakyRelu(x, alpha) => {
-                    let mask =
-                        self.with_value(x, |t| t.map(|v| if v >= 0.0 { 1.0 } else { alpha }));
+                    let mask = self.with_value(x, |t| t.apply(UnaryOp::LeakyReluMask(alpha)));
                     let mask = self.leaf(mask);
                     let gx = self.mul(g_out, mask);
                     self.accumulate(&mut adj, x.0, gx);

@@ -21,6 +21,7 @@
 //! assert_eq!(g.value(d2y).item(), 2.0);
 //! ```
 
+use crate::kernels::UnaryOp;
 use crate::Tensor;
 use std::cell::RefCell;
 
@@ -177,7 +178,7 @@ impl Graph {
 
     /// Elementwise negation.
     pub fn neg(&self, x: Var) -> Var {
-        self.unary(x, |t| t.mul_scalar(-1.0), Op::Neg(x))
+        self.unary(x, |t| t.apply(UnaryOp::Neg), Op::Neg(x))
     }
 
     /// Matrix product.
@@ -246,7 +247,7 @@ impl Graph {
 
     /// Elementwise power with constant exponent.
     pub fn pow_scalar(&self, x: Var, p: f32) -> Var {
-        self.unary(x, |t| t.map(|v| v.powf(p)), Op::PowScalar(x, p))
+        self.unary(x, |t| t.apply(UnaryOp::PowScalar(p)), Op::PowScalar(x, p))
     }
 
     /// Elementwise square (`pow_scalar(x, 2)` specialisation).
@@ -256,37 +257,37 @@ impl Graph {
 
     /// Elementwise exponential.
     pub fn exp(&self, x: Var) -> Var {
-        self.unary(x, |t| t.map(f32::exp), Op::Exp(x))
+        self.unary(x, |t| t.apply(UnaryOp::Exp), Op::Exp(x))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self, x: Var) -> Var {
-        self.unary(x, |t| t.map(f32::ln), Op::Ln(x))
+        self.unary(x, |t| t.apply(UnaryOp::Ln), Op::Ln(x))
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self, x: Var) -> Var {
-        self.unary(x, |t| t.map(f32::sqrt), Op::Sqrt(x))
+        self.unary(x, |t| t.apply(UnaryOp::Sqrt), Op::Sqrt(x))
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&self, x: Var) -> Var {
-        self.unary(x, |t| t.map(f32::tanh), Op::Tanh(x))
+        self.unary(x, |t| t.apply(UnaryOp::Tanh), Op::Tanh(x))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&self, x: Var) -> Var {
-        self.unary(x, |t| t.map(|v| 1.0 / (1.0 + (-v).exp())), Op::Sigmoid(x))
+        self.unary(x, |t| t.apply(UnaryOp::Sigmoid), Op::Sigmoid(x))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&self, x: Var) -> Var {
-        self.unary(x, |t| t.map(|v| v.max(0.0)), Op::Relu(x))
+        self.unary(x, |t| t.apply(UnaryOp::Relu), Op::Relu(x))
     }
 
     /// Elementwise leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, x: Var, alpha: f32) -> Var {
-        self.unary(x, |t| t.map(|v| if v >= 0.0 { v } else { alpha * v }), Op::LeakyRelu(x, alpha))
+        self.unary(x, |t| t.apply(UnaryOp::LeakyRelu(alpha)), Op::LeakyRelu(x, alpha))
     }
 
     /// Horizontal concatenation.

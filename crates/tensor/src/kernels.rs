@@ -1,0 +1,459 @@
+//! Blocked compute kernels behind [`crate::Tensor`]'s hot loops.
+//!
+//! Every kernel follows the determinism contract from DESIGN.md §8:
+//!
+//! * chunk boundaries are derived from the problem size only — never from
+//!   the worker count — and the single-threaded path executes the *same*
+//!   chunked computation inline;
+//! * reductions combine chunk partials in a fixed pairwise tree, so the
+//!   rounding of a sum depends on the data's length, not on scheduling;
+//! * kernel selection (dense vs. zero-skipping matmul) is data-dependent
+//!   but thread-count independent.
+//!
+//! Together these make results bit-identical for any `GTV_THREADS` value.
+
+use std::sync::Arc;
+
+use crate::pool;
+
+/// Output rows per matmul chunk.
+const ROW_BLOCK: usize = 16;
+/// Elements per elementwise chunk.
+const ELEM_BLOCK: usize = 8_192;
+/// Elements per reduction leaf; also the row-block budget for row/column
+/// sums (`rows_per_chunk = REDUCE_BLOCK / cols`).
+const REDUCE_BLOCK: usize = 4_096;
+/// Minimum multiply-accumulate count before a matmul is worth dispatching
+/// to the pool.
+const MATMUL_PAR_MIN: usize = 32_768;
+/// Minimum element count before a reduction is worth dispatching.
+const REDUCE_PAR_MIN: usize = 16_384;
+
+/// Elementwise unary kernels. An enum (rather than a closure) so the op is
+/// `Copy + Send` and can cross the worker-pool boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `e^x`
+    Exp,
+    /// `ln x`
+    Ln,
+    /// `√x`
+    Sqrt,
+    /// `tanh x`
+    Tanh,
+    /// `1 / (1 + e^-x)`
+    Sigmoid,
+    /// `max(x, 0)`
+    Relu,
+    /// `x` for `x ≥ 0`, else `αx`
+    LeakyRelu(f32),
+    /// `cx`
+    MulScalar(f32),
+    /// `x + c`
+    AddScalar(f32),
+    /// `x^p`
+    PowScalar(f32),
+    /// Subgradient mask of [`UnaryOp::Relu`]: `1` for `x > 0`, else `0`.
+    ReluMask,
+    /// Subgradient mask of [`UnaryOp::LeakyRelu`]: `1` for `x ≥ 0`, else `α`.
+    LeakyReluMask(f32),
+}
+
+impl UnaryOp {
+    /// Applies the op to one element.
+    #[inline]
+    pub fn eval(self, v: f32) -> f32 {
+        match self {
+            UnaryOp::Neg => -v,
+            UnaryOp::Exp => v.exp(),
+            UnaryOp::Ln => v.ln(),
+            UnaryOp::Sqrt => v.sqrt(),
+            UnaryOp::Tanh => v.tanh(),
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            UnaryOp::Relu => v.max(0.0),
+            UnaryOp::LeakyRelu(alpha) => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    alpha * v
+                }
+            }
+            UnaryOp::MulScalar(c) => v * c,
+            UnaryOp::AddScalar(c) => v + c,
+            UnaryOp::PowScalar(p) => v.powf(p),
+            UnaryOp::ReluMask => {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::LeakyReluMask(alpha) => {
+                if v >= 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+        }
+    }
+}
+
+/// Elementwise binary kernels (same-shape fast path of `zip`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+}
+
+impl BinaryOp {
+    /// Applies the op to one element pair.
+    #[inline]
+    pub fn eval(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+        }
+    }
+}
+
+/// Splits `0..len` into `ELEM_BLOCK`-sized ranges (last one ragged).
+fn elem_chunks(len: usize) -> usize {
+    len.div_ceil(ELEM_BLOCK)
+}
+
+/// Elementwise unary map. Chunked over the pool for large inputs; each
+/// element's value never depends on its chunk, so any execution order is
+/// bitwise identical.
+pub(crate) fn unary(data: &[f32], op: UnaryOp) -> Vec<f32> {
+    let len = data.len();
+    if pool::threads() == 1 || len <= ELEM_BLOCK {
+        return data.iter().map(|&v| op.eval(v)).collect();
+    }
+    let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
+    let chunks = pool::run_chunks(elem_chunks(len), move |i| {
+        let lo = i * ELEM_BLOCK;
+        let hi = (lo + ELEM_BLOCK).min(len);
+        shared[lo..hi].iter().map(|&v| op.eval(v)).collect::<Vec<f32>>()
+    });
+    stitch(chunks, len)
+}
+
+/// Elementwise binary map over equal-length buffers.
+pub(crate) fn binary(a: &[f32], b: &[f32], op: BinaryOp) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    let len = a.len();
+    if pool::threads() == 1 || len <= ELEM_BLOCK {
+        return a.iter().zip(b).map(|(&x, &y)| op.eval(x, y)).collect();
+    }
+    let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
+    let b: Arc<Vec<f32>> = Arc::new(b.to_vec());
+    let chunks = pool::run_chunks(elem_chunks(len), move |i| {
+        let lo = i * ELEM_BLOCK;
+        let hi = (lo + ELEM_BLOCK).min(len);
+        a[lo..hi].iter().zip(&b[lo..hi]).map(|(&x, &y)| op.eval(x, y)).collect::<Vec<f32>>()
+    });
+    stitch(chunks, len)
+}
+
+fn stitch(chunks: Vec<Vec<f32>>, len: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunks {
+        out.extend_from_slice(&chunk);
+    }
+    out
+}
+
+/// Folds partials pairwise in a fixed-shape tree: `((p0+p1)+(p2+p3))+…`.
+/// The shape depends only on `partials.len()`, which depends only on the
+/// input length — never on scheduling.
+fn tree_fold(mut partials: Vec<f32>) -> f32 {
+    if partials.is_empty() {
+        return 0.0;
+    }
+    while partials.len() > 1 {
+        partials = partials
+            .chunks(2)
+            .map(|pair| if pair.len() == 2 { pair[0] + pair[1] } else { pair[0] })
+            .collect();
+    }
+    partials[0]
+}
+
+/// Chunked deterministic reduction: sequential leaf sums over
+/// `REDUCE_BLOCK`-element chunks, combined by [`tree_fold`]. `leaf` must be
+/// a pure function of its slice.
+fn reduce(data: &[f32], leaf: fn(&[f32]) -> f32) -> f32 {
+    let len = data.len();
+    if len == 0 {
+        return 0.0;
+    }
+    let n_chunks = len.div_ceil(REDUCE_BLOCK);
+    let bounds = move |i: usize| (i * REDUCE_BLOCK, ((i + 1) * REDUCE_BLOCK).min(len));
+    let partials: Vec<f32> = if pool::threads() == 1 || len < REDUCE_PAR_MIN {
+        (0..n_chunks)
+            .map(|i| {
+                let (lo, hi) = bounds(i);
+                leaf(&data[lo..hi])
+            })
+            .collect()
+    } else {
+        let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
+        pool::run_chunks(n_chunks, move |i| {
+            let (lo, hi) = bounds(i);
+            leaf(&shared[lo..hi])
+        })
+    };
+    tree_fold(partials)
+}
+
+fn leaf_sum(chunk: &[f32]) -> f32 {
+    chunk.iter().sum()
+}
+
+fn leaf_sum_squares(chunk: &[f32]) -> f32 {
+    chunk.iter().map(|v| v * v).sum()
+}
+
+/// Deterministic sum of all elements.
+pub(crate) fn sum(data: &[f32]) -> f32 {
+    reduce(data, leaf_sum)
+}
+
+/// Deterministic sum of squares (Frobenius norm before the square root).
+pub(crate) fn sum_squares(data: &[f32]) -> f32 {
+    reduce(data, leaf_sum_squares)
+}
+
+/// Row blocks used by the row/column-sum reductions: enough rows per chunk
+/// to cover roughly `REDUCE_BLOCK` elements.
+fn rows_per_chunk(cols: usize) -> usize {
+    (REDUCE_BLOCK / cols.max(1)).max(1)
+}
+
+/// Column sums of a row-major `rows×cols` buffer → `cols` values.
+/// Rows are accumulated sequentially inside fixed row blocks; block
+/// partial vectors combine in a fixed pairwise tree.
+pub(crate) fn col_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    if rows == 0 || cols == 0 {
+        return vec![0.0; cols];
+    }
+    let block = rows_per_chunk(cols);
+    let n_chunks = rows.div_ceil(block);
+    let accumulate = move |i: usize, data: &[f32]| {
+        let lo = i * block;
+        let hi = ((i + 1) * block).min(rows);
+        let mut acc = vec![0.0f32; cols];
+        for r in lo..hi {
+            for (a, v) in acc.iter_mut().zip(&data[r * cols..(r + 1) * cols]) {
+                *a += v;
+            }
+        }
+        acc
+    };
+    let mut partials: Vec<Vec<f32>> = if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
+        (0..n_chunks).map(|i| accumulate(i, data)).collect()
+    } else {
+        let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
+        pool::run_chunks(n_chunks, move |i| accumulate(i, &shared))
+    };
+    while partials.len() > 1 {
+        partials = partials
+            .chunks_mut(2)
+            .map(|pair| {
+                let mut merged = std::mem::take(&mut pair[0]);
+                if pair.len() == 2 {
+                    for (a, b) in merged.iter_mut().zip(pair[1].iter()) {
+                        *a += *b;
+                    }
+                }
+                merged
+            })
+            .collect();
+    }
+    partials.swap_remove(0)
+}
+
+/// Row sums of a row-major `rows×cols` buffer → `rows` values. Each row is
+/// summed sequentially (rows are short on the training path); row blocks
+/// run on the pool when the buffer is large.
+pub(crate) fn row_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    if rows == 0 || cols == 0 {
+        return vec![0.0; rows];
+    }
+    let block = rows_per_chunk(cols);
+    let n_chunks = rows.div_ceil(block);
+    let accumulate = move |i: usize, data: &[f32]| {
+        let lo = i * block;
+        let hi = ((i + 1) * block).min(rows);
+        (lo..hi).map(|r| leaf_sum(&data[r * cols..(r + 1) * cols])).collect::<Vec<f32>>()
+    };
+    if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
+        let chunks: Vec<Vec<f32>> = (0..n_chunks).map(|i| accumulate(i, data)).collect();
+        stitch(chunks, rows)
+    } else {
+        let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
+        let chunks = pool::run_chunks(n_chunks, move |i| accumulate(i, &shared));
+        stitch(chunks, rows)
+    }
+}
+
+/// Dot product with eight independent accumulator lanes (auto-vectorizes)
+/// combined in a fixed shape, so the result is a pure function of the
+/// operands.
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut xi = x.chunks_exact(8);
+    let mut yi = y.chunks_exact(8);
+    for (xc, yc) in (&mut xi).zip(&mut yi) {
+        for l in 0..8 {
+            acc[l] += xc[l] * yc[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xv, yv) in xi.remainder().iter().zip(yi.remainder()) {
+        tail += xv * yv;
+    }
+    let head = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    head + tail
+}
+
+/// Packs the RHS into its transpose so the dot kernel streams both
+/// operands contiguously.
+fn pack_transpose(b: &[f32], k: usize, m: usize) -> Vec<f32> {
+    let mut bt = vec![0.0f32; b.len()];
+    for p in 0..k {
+        for j in 0..m {
+            bt[j * k + p] = b[p * m + j];
+        }
+    }
+    bt
+}
+
+/// Dense matmul kernel for output rows `r0..r1`: packed-transpose dot
+/// products, no term skipped — full IEEE NaN/Inf propagation.
+fn dense_rows(a: &[f32], bt: &[f32], k: usize, m: usize, r0: usize, r1: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity((r1 - r0) * m);
+    for i in r0..r1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..m {
+            out.push(dot(a_row, &bt[j * k..(j + 1) * k]));
+        }
+    }
+    out
+}
+
+/// Zero-skipping axpy kernel for output rows `r0..r1`. Only valid when the
+/// RHS is entirely finite: then every skipped term is an exact `±0.0` and
+/// skipping cannot change the result (see [`matmul`]).
+fn sparse_rows(a: &[f32], b: &[f32], k: usize, m: usize, r0: usize, r1: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; (r1 - r0) * m];
+    for i in r0..r1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[(i - r0) * m..(i - r0 + 1) * m];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out_row.iter_mut().zip(&b[p * m..(p + 1) * m]) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Matrix product of row-major `n×k` and `k×m` buffers.
+///
+/// Kernel choice is data-dependent but thread-count independent: mostly-zero
+/// LHS against a finite RHS (one-hot and mask matrices are everywhere on the
+/// encode path) takes the zero-skipping kernel; everything else — including
+/// any non-finite RHS, so `0·NaN`/`0·∞` still poison the output as IEEE
+/// demands — takes the packed dense kernel. Work is split over fixed
+/// `ROW_BLOCK`-row output chunks and stitched in chunk order.
+pub(crate) fn matmul(n: usize, k: usize, m: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let rhs_finite = b.iter().all(|v| v.is_finite());
+    let zeros = a.iter().filter(|&&v| v == 0.0).count();
+    let sparse = rhs_finite && !a.is_empty() && 2 * zeros >= a.len();
+
+    let n_chunks = n.div_ceil(ROW_BLOCK);
+    let bounds = move |i: usize| (i * ROW_BLOCK, ((i + 1) * ROW_BLOCK).min(n));
+    let parallel = pool::threads() > 1 && n_chunks > 1 && n * k * m >= MATMUL_PAR_MIN;
+
+    let chunks: Vec<Vec<f32>> = if sparse {
+        if parallel {
+            let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
+            let b: Arc<Vec<f32>> = Arc::new(b.to_vec());
+            pool::run_chunks(n_chunks, move |i| {
+                let (r0, r1) = bounds(i);
+                sparse_rows(&a, &b, k, m, r0, r1)
+            })
+        } else {
+            (0..n_chunks)
+                .map(|i| {
+                    let (r0, r1) = bounds(i);
+                    sparse_rows(a, b, k, m, r0, r1)
+                })
+                .collect()
+        }
+    } else {
+        let bt = pack_transpose(b, k, m);
+        if parallel {
+            let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
+            let bt: Arc<Vec<f32>> = Arc::new(bt);
+            pool::run_chunks(n_chunks, move |i| {
+                let (r0, r1) = bounds(i);
+                dense_rows(&a, &bt, k, m, r0, r1)
+            })
+        } else {
+            (0..n_chunks)
+                .map(|i| {
+                    let (r0, r1) = bounds(i);
+                    dense_rows(a, &bt, k, m, r0, r1)
+                })
+                .collect()
+        }
+    };
+    stitch(chunks, n * m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_on_integers() {
+        let x: Vec<f32> = (1..=19).map(|v| v as f32).collect();
+        let y: Vec<f32> = (1..=19).map(|v| (v * 2) as f32).collect();
+        let naive: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_eq!(dot(&x, &y), naive);
+    }
+
+    #[test]
+    fn tree_fold_is_exact_on_integers() {
+        let data: Vec<f32> = (0..10_000).map(|v| (v % 7) as f32).collect();
+        let expected: f32 = data.iter().sum();
+        assert_eq!(sum(&data), expected);
+    }
+
+    #[test]
+    fn sparse_and_dense_kernels_agree_on_exact_inputs() {
+        // One-hot LHS: integer arithmetic, both kernels must agree exactly.
+        let (n, k, m) = (6, 5, 4);
+        let a: Vec<f32> = (0..n * k).map(|i| if i % 5 == i / 5 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f32> = (0..k * m).map(|i| (i as f32) - 7.0).collect();
+        let bt = pack_transpose(&b, k, m);
+        assert_eq!(sparse_rows(&a, &b, k, m, 0, n), dense_rows(&a, &bt, k, m, 0, n));
+    }
+}

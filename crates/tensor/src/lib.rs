@@ -15,6 +15,11 @@
 //!   is what makes the WGAN-GP gradient penalty (a second-order construct)
 //!   expressible without any special casing.
 //!
+//! Hot loops (matmul, elementwise kernels, reductions) run on a
+//! deterministic worker pool ([`pool`]): chunk boundaries depend only on
+//! problem size, so results are **bit-identical** for any `GTV_THREADS`
+//! setting — see DESIGN.md §8 for the full contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,7 +37,10 @@
 
 mod backward;
 mod graph;
+mod kernels;
+pub mod pool;
 mod tensor;
 
 pub use graph::{Graph, Var};
+pub use kernels::{BinaryOp, UnaryOp};
 pub use tensor::Tensor;

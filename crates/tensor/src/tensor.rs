@@ -5,6 +5,7 @@
 //! dimensions: scalars are `1×1`, row vectors `1×n`, column vectors `n×1`.
 //! Broadcasting follows NumPy semantics restricted to those shapes.
 
+use crate::kernels::{self, BinaryOp, UnaryOp};
 use rand::Rng;
 use std::fmt;
 
@@ -241,9 +242,34 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Applies `f` elementwise, returning a new tensor.
+    /// Applies `f` elementwise, returning a new tensor. Always runs on the
+    /// calling thread; hot paths use [`Tensor::apply`] with a named kernel
+    /// instead.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Self::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Applies a named unary kernel elementwise, chunked over the worker
+    /// pool for large tensors (bit-identical at any thread count).
+    pub fn apply(&self, op: UnaryOp) -> Self {
+        Self::from_vec(self.rows, self.cols, kernels::unary(&self.data, op))
+    }
+
+    /// Broadcasting combine with a named binary kernel. The same-shape fast
+    /// path is chunked over the worker pool for large tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_op(&self, other: &Self, op: BinaryOp) -> Self {
+        if self.shape() == other.shape() {
+            return Self::from_vec(
+                self.rows,
+                self.cols,
+                kernels::binary(&self.data, &other.data, op),
+            );
+        }
+        self.zip(other, |a, b| op.eval(a, b))
     }
 
     /// Applies `f` elementwise in place.
@@ -304,35 +330,41 @@ impl Tensor {
 
     /// Broadcasting addition.
     pub fn add(&self, other: &Self) -> Self {
-        self.zip(other, |a, b| a + b)
+        self.zip_op(other, BinaryOp::Add)
     }
 
     /// Broadcasting subtraction.
     pub fn sub(&self, other: &Self) -> Self {
-        self.zip(other, |a, b| a - b)
+        self.zip_op(other, BinaryOp::Sub)
     }
 
     /// Broadcasting elementwise multiplication.
     pub fn mul(&self, other: &Self) -> Self {
-        self.zip(other, |a, b| a * b)
+        self.zip_op(other, BinaryOp::Mul)
     }
 
     /// Broadcasting elementwise division.
     pub fn div(&self, other: &Self) -> Self {
-        self.zip(other, |a, b| a / b)
+        self.zip_op(other, BinaryOp::Div)
     }
 
     /// Adds `v` to every element.
     pub fn add_scalar(&self, v: f32) -> Self {
-        self.map(|a| a + v)
+        self.apply(UnaryOp::AddScalar(v))
     }
 
     /// Multiplies every element by `v`.
     pub fn mul_scalar(&self, v: f32) -> Self {
-        self.map(|a| a * v)
+        self.apply(UnaryOp::MulScalar(v))
     }
 
     /// Matrix product `self @ other`.
+    ///
+    /// Runs on the blocked kernels in [`crate::kernels`]: the zero-skipping
+    /// fast path is only taken when the RHS is entirely finite, so IEEE
+    /// non-finite propagation (`0·NaN = NaN`, `0·∞ = NaN`) is preserved and
+    /// a diverged training run surfaces as NaNs instead of being masked as
+    /// zeros. Results are bit-identical at any `GTV_THREADS` setting.
     ///
     /// # Panics
     ///
@@ -344,21 +376,7 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Self::from_vec(n, m, out)
+        Self::from_vec(n, m, kernels::matmul(n, k, m, &self.data, &other.data))
     }
 
     /// Transpose.
@@ -372,27 +390,20 @@ impl Tensor {
         Self::from_vec(self.cols, self.rows, data)
     }
 
-    /// Sum of all elements as a `1×1` tensor.
+    /// Sum of all elements as a `1×1` tensor (fixed-shape tree reduction,
+    /// bit-identical at any thread count).
     pub fn sum_all(&self) -> Self {
-        Self::scalar(self.data.iter().sum())
+        Self::scalar(kernels::sum(&self.data))
     }
 
     /// Column sums: `(n×m) → (1×m)`.
-    #[allow(clippy::needless_range_loop)] // indexed accumulation is the clear form
     pub fn sum_rows(&self) -> Self {
-        let mut out = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.data[r * self.cols + c];
-            }
-        }
-        Self::from_vec(1, self.cols, out)
+        Self::from_vec(1, self.cols, kernels::col_sums(&self.data, self.rows, self.cols))
     }
 
     /// Row sums: `(n×m) → (n×1)`.
     pub fn sum_cols(&self) -> Self {
-        let out = (0..self.rows).map(|r| self.row_slice(r).iter().sum()).collect();
-        Self::from_vec(self.rows, 1, out)
+        Self::from_vec(self.rows, 1, kernels::row_sums(&self.data, self.rows, self.cols))
     }
 
     /// Mean of all elements.
@@ -400,7 +411,7 @@ impl Tensor {
         if self.data.is_empty() {
             0.0
         } else {
-            self.data.iter().sum::<f32>() / self.data.len() as f32
+            kernels::sum(&self.data) / self.data.len() as f32
         }
     }
 
@@ -525,9 +536,9 @@ impl Tensor {
             .collect()
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (fixed-shape tree reduction of the squares).
     pub fn frob_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        kernels::sum_squares(&self.data).sqrt()
     }
 
     /// Maximum absolute element difference between two equal-shaped tensors.
@@ -574,6 +585,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Tensor::randn(4, 4, &mut rng);
         assert!(a.matmul(&Tensor::eye(4)).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_past_zero_entries() {
+        // Regression: the old `a == 0.0` skip dropped 0·NaN and 0·∞ terms,
+        // masking a diverged run as zeros. IEEE says both are NaN.
+        let a = Tensor::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let b = Tensor::from_rows(&[&[f32::NAN, f32::INFINITY], &[2.0, 3.0]]);
+        let c = a.matmul(&b);
+        assert!(c.at(0, 0).is_nan(), "0·NaN + 1·2 must be NaN: {c:?}");
+        assert!(c.at(0, 1).is_nan(), "0·∞ + 1·3 must be NaN: {c:?}");
+        assert!(c.at(1, 0).is_nan(), "0·NaN + 0·2 must be NaN: {c:?}");
+        assert!(c.at(1, 1).is_nan(), "0·∞ + 0·3 must be NaN: {c:?}");
+    }
+
+    #[test]
+    fn matmul_propagates_nan_from_a_sparse_lhs() {
+        // A mostly-zero LHS takes the zero-skipping kernel — a NaN in the
+        // LHS itself must still poison its row (NaN == 0.0 is false).
+        let a = Tensor::from_rows(&[&[0.0, f32::NAN, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]]);
+        let b = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let c = a.matmul(&b);
+        assert!(c.at(0, 0).is_nan(), "NaN row must stay NaN: {c:?}");
+        assert_eq!(c.at(1, 0), 3.0);
     }
 
     #[test]

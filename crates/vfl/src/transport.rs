@@ -7,10 +7,11 @@
 //! from parties running on their own threads.
 
 use crate::wire::{DecodeMessageError, Message};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 /// A transport-layer failure.
 ///
@@ -27,6 +28,13 @@ pub enum TransportError {
     InboxClosed(PartyId),
     /// The inbox exists but holds no message.
     InboxEmpty(PartyId),
+    /// A bounded-wait receive saw no message within its deadline.
+    Timeout {
+        /// Party whose inbox stayed empty.
+        party: PartyId,
+        /// How long the receive waited before giving up.
+        waited: Duration,
+    },
     /// A message failed to round-trip through its wire encoding.
     Decode(DecodeMessageError),
     /// A protocol step received a message it has no handler for.
@@ -47,6 +55,9 @@ impl fmt::Display for TransportError {
             TransportError::UnknownParty(p) => write!(f, "unknown party {p}"),
             TransportError::InboxClosed(p) => write!(f, "inbox of {p} is closed"),
             TransportError::InboxEmpty(p) => write!(f, "inbox of {p} is empty"),
+            TransportError::Timeout { party, waited } => {
+                write!(f, "no message for {party} within {waited:?}")
+            }
             TransportError::Decode(e) => write!(f, "wire round-trip failed: {e}"),
             TransportError::UnexpectedMessage { from, context, got } => {
                 write!(f, "unexpected message from {from} during {context}: {got:?}")
@@ -132,11 +143,15 @@ pub enum Fault {
     Duplicate,
 }
 
+/// Default bound on how long [`Network::recv`] waits for a message.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(1);
+
 /// The simulated network connecting server, clients and the public board.
 pub struct Network {
     stats: Mutex<NetStats>,
     inboxes: Mutex<Inboxes>,
     faults: Mutex<Vec<(PartyId, PartyId, Fault)>>,
+    recv_timeout: Mutex<Duration>,
 }
 
 impl fmt::Debug for Network {
@@ -166,7 +181,14 @@ impl Network {
             stats: Mutex::new(NetStats::default()),
             inboxes: Mutex::new(Inboxes { senders, receivers }),
             faults: Mutex::new(Vec::new()),
+            recv_timeout: Mutex::new(DEFAULT_RECV_TIMEOUT),
         }
+    }
+
+    /// Sets the bound [`Network::recv`] waits before reporting
+    /// [`TransportError::Timeout`] (default [`DEFAULT_RECV_TIMEOUT`]).
+    pub fn set_recv_timeout(&self, timeout: Duration) {
+        *self.recv_timeout.lock() = timeout;
     }
 
     /// Arms a one-shot fault for the next send on `(from, to)` — protocol
@@ -227,15 +249,46 @@ impl Network {
         rx.try_recv().map_err(|_| TransportError::InboxEmpty(party))
     }
 
-    /// Pops the next message, erroring on an empty inbox (orchestrated
-    /// protocols know exactly when a message must be present, so an empty
-    /// inbox here means a dropped or mis-sequenced message).
+    /// Pops the next message, waiting up to the configured receive timeout
+    /// for one to arrive.
+    ///
+    /// Unlike [`Network::try_recv`] this tolerates a sender running on
+    /// another thread that has not delivered *yet*; a genuinely dropped or
+    /// mis-sequenced message still surfaces, as [`TransportError::Timeout`],
+    /// once the bounded wait expires.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Network::try_recv`].
+    /// Returns [`TransportError::Timeout`] if no message arrives in time,
+    /// [`TransportError::UnknownParty`] if `party` has no inbox, or
+    /// [`TransportError::InboxClosed`] if the inbox disconnects while
+    /// waiting.
     pub fn recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
-        self.try_recv(party)
+        let timeout = *self.recv_timeout.lock();
+        self.recv_timeout(party, timeout)
+    }
+
+    /// [`Network::recv`] with an explicit wait bound.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::recv`].
+    pub fn recv_timeout(
+        &self,
+        party: PartyId,
+        timeout: Duration,
+    ) -> Result<(PartyId, Message), TransportError> {
+        // Clone the receiver and release the inbox lock *before* blocking:
+        // holding it across the wait would deadlock concurrent `send`s, the
+        // very senders the wait exists for.
+        let rx = {
+            let inboxes = self.inboxes.lock();
+            inboxes.receivers.get(&party).ok_or(TransportError::UnknownParty(party))?.clone()
+        };
+        rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout { party, waited: timeout },
+            RecvTimeoutError::Disconnected => TransportError::InboxClosed(party),
+        })
     }
 
     /// Snapshot of the traffic counters.
@@ -342,6 +395,43 @@ mod tests {
             net.recv(PartyId::Client(9)),
             Err(TransportError::UnknownParty(PartyId::Client(9)))
         );
+    }
+
+    #[test]
+    fn recv_times_out_on_a_missing_message() {
+        // Regression: `recv` used to be a pure alias of `try_recv`, so a
+        // sender on another thread that had not delivered *yet* looked
+        // identical to a dropped message. It must now wait, and report the
+        // distinct `Timeout` error — not `InboxEmpty` — when nothing comes.
+        let net = Network::new(1);
+        let timeout = Duration::from_millis(10);
+        net.set_recv_timeout(timeout);
+        let start = std::time::Instant::now();
+        let err = net.recv(PartyId::Server).unwrap_err();
+        assert_eq!(err, TransportError::Timeout { party: PartyId::Server, waited: timeout });
+        assert!(start.elapsed() >= timeout, "recv must actually wait out the bound");
+        // `try_recv` keeps its non-blocking contract.
+        let start = std::time::Instant::now();
+        assert_eq!(net.try_recv(PartyId::Server), Err(TransportError::InboxEmpty(PartyId::Server)));
+        assert!(start.elapsed() < timeout, "try_recv must not block");
+    }
+
+    #[test]
+    fn recv_waits_for_a_late_sender() {
+        use std::sync::Arc;
+        let net = Arc::new(Network::new(1));
+        net.set_recv_timeout(Duration::from_secs(5));
+        let n2 = Arc::clone(&net);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            n2.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 4 })
+                .unwrap();
+        });
+        // The message is in flight, not dropped: recv must ride out the gap.
+        let (from, m) = net.recv(PartyId::Server).unwrap();
+        assert_eq!(from, PartyId::Client(0));
+        assert_eq!(m, Message::ShuffleSeedShare { share: 4 });
+        handle.join().unwrap();
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   `crates/core/src/trainer.rs`), outside `#[cfg(test)]` code;
 //! * **L2 `determinism`** — no `thread_rng`, `from_entropy`,
 //!   `SystemTime::now`, `Instant::now` outside `crates/bench` and
-//!   `#[cfg(test)]` code, anywhere in the workspace;
+//!   `#[cfg(test)]` code, anywhere in the workspace; and no ad-hoc
+//!   `thread::spawn` / `thread::Builder` outside the deterministic worker
+//!   pool (`crates/tensor/src/pool.rs`), whose fixed problem-size-only
+//!   partitioning is the sanctioned source of parallelism;
 //! * **L3 `float-eq`** — no `==` / `!=` against float literals in
 //!   `crates/metrics` and `crates/ml` (literal-adjacent heuristic; exact
 //!   float equality breaks metric stability across backends);
@@ -686,11 +689,15 @@ fn lint_panic(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec
     }
 }
 
-/// L2: deny ambient randomness and wall-clock reads outside `crates/bench`.
+/// L2: deny ambient randomness and wall-clock reads outside `crates/bench`,
+/// and ad-hoc thread spawns outside the sanctioned worker pool.
 fn lint_determinism(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec<Finding>) {
     if rel_str.starts_with("crates/bench/") {
         return;
     }
+    // The pool owns the workspace's data parallelism: its fixed, problem-
+    // size-only partitioning is what keeps results thread-count-invariant.
+    let is_pool = rel_str == "crates/tensor/src/pool.rs";
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
@@ -705,6 +712,23 @@ fn lint_determinism(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &m
                     rule: Rule::Determinism,
                     message: format!(
                         "`{token}` breaks seeded reproducibility; derive from a seeded StdRng or move to crates/bench"
+                    ),
+                });
+            }
+        }
+        if is_pool {
+            continue;
+        }
+        for token in ["thread::spawn", "thread::Builder"] {
+            if has_token(&line.code, token)
+                && !suppressed(lines, idx, Rule::Determinism, rel, findings)
+            {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::Determinism,
+                    message: format!(
+                        "ad-hoc `{token}` sidesteps the deterministic worker pool; route parallelism through `gtv_tensor::pool` (crates/tensor/src/pool.rs)"
                     ),
                 });
             }

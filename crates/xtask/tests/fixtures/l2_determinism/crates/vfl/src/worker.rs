@@ -1,0 +1,23 @@
+//! Known-bad fixture: ad-hoc threading outside the sanctioned pool.
+
+pub fn bad_spawn() {
+    let handle = std::thread::spawn(|| {});
+    drop(handle.join());
+}
+
+pub fn bad_builder() {
+    let builder = std::thread::Builder::new();
+    drop(builder);
+}
+
+pub fn fine_in_string() -> &'static str {
+    "thread::spawn mentioned in a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_fine() {
+        drop(std::thread::spawn(|| {}).join());
+    }
+}

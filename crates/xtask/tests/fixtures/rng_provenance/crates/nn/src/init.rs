@@ -15,6 +15,16 @@ pub fn init_embedding() -> u64 {
     rng.next_u64()
 }
 
+pub fn pool_block_rng(base_seed: u64, block: usize) -> u64 {
+    let rng = StdRng::seed_from_u64(base_seed ^ block as u64);
+    rng.next_u64()
+}
+
+pub fn bad_block_rng(block: usize) -> u64 {
+    let rng = StdRng::seed_from_u64(block as u64);
+    rng.next_u64()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

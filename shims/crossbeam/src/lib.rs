@@ -43,6 +43,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the allotted time.
+        Timeout,
+        /// No message is queued and every sender is gone.
+        Disconnected,
+    }
+
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
@@ -113,6 +122,38 @@ pub mod channel {
                 q = self.chan.ready.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
+
+        /// Blocks until a message arrives, every sender is dropped, or
+        /// `timeout` elapses — whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = lock(&self.chan);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, wait) = self
+                    .chan
+                    .ready
+                    .wait_timeout(q, remaining)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+                if wait.timed_out() && q.front().is_none() {
+                    if self.chan.senders.load(Ordering::Acquire) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -163,6 +204,18 @@ mod tests {
         let (tx2, rx2) = unbounded();
         drop(rx2);
         assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

@@ -10,7 +10,11 @@ fn trainer() -> GtvTrainer {
     let table = Dataset::Loan.generate(60, 0);
     let n = table.n_cols();
     let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
-    GtvTrainer::new(shards, GtvConfig::smoke())
+    let t = GtvTrainer::new(shards, GtvConfig::smoke());
+    // `recv` is a bounded wait; dropped-message tests should fail fast
+    // instead of sitting out the 1 s default.
+    t.network().set_recv_timeout(std::time::Duration::from_millis(10));
+    t
 }
 
 #[test]
@@ -19,7 +23,7 @@ fn dropped_upload_aborts_the_round() {
     t.network().inject_fault(PartyId::Client(0), PartyId::Server, Fault::Drop);
     let err = t.train_round().expect_err("a lost client upload must not go unnoticed");
     assert!(
-        matches!(err, TransportError::InboxEmpty(PartyId::Server)),
+        matches!(err, TransportError::Timeout { party: PartyId::Server, .. }),
         "the server should observe the missing upload: {err:?}"
     );
 }
@@ -30,7 +34,7 @@ fn dropped_server_message_aborts_the_round() {
     t.network().inject_fault(PartyId::Server, PartyId::Client(1), Fault::Drop);
     let err = t.train_round().expect_err("a lost server message must not go unnoticed");
     assert!(
-        matches!(err, TransportError::InboxEmpty(PartyId::Client(1))),
+        matches!(err, TransportError::Timeout { party: PartyId::Client(1), .. }),
         "the client should observe the missing message: {err:?}"
     );
 }

@@ -25,4 +25,11 @@ cargo run -q -p gtv-xtask -- lint --json --max-ms 5000 2>/dev/null | tee target/
 step "cargo test -q"
 cargo test -q --workspace
 
+step "tensor benchmark (BENCH_tensor.json)"
+# Hot-loop throughput sweep over pool sizes; the artifact records GFLOP/s,
+# per-op speedup vs 1 thread and the host's core count (interpret speedups
+# against it — a 1-core runner cannot show wall-clock gains).
+cargo build -q --release -p gtv-bench --bin bench_tensor
+GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_tensor target/BENCH_tensor.json
+
 printf '\nci: all gates passed\n'
