@@ -1,0 +1,128 @@
+//! Training-step benchmark for the step-scoped memory runtime
+//! (DESIGN.md §9): centralized and 2-client VFL rounds, with buffer
+//! recycling on and off.
+//!
+//! Emits `BENCH_step.json` (path overridable as the first CLI argument)
+//! with steps/second, allocator misses per step and the pool hit rate for
+//! every scenario × pool setting. `GTV_BENCH_REPS` controls repetitions per
+//! measurement (default 3; the minimum wall time over reps is reported,
+//! counters are accumulated over all reps).
+//!
+//! Everything runs single-threaded (`threads = 1`) so the thread-local pool
+//! counters are exact and the comparison isolates allocator pressure, not
+//! scheduling.
+
+use gtv::{CentralizedTrainer, GtvConfig, GtvTrainer};
+use gtv_data::Dataset;
+use gtv_tensor::pool_mem;
+use std::time::Instant;
+
+const ROWS: usize = 256;
+const WARMUP_ROUNDS: usize = 2;
+const TIMED_ROUNDS: usize = 4;
+
+fn config(pool_recycling: bool) -> GtvConfig {
+    GtvConfig { threads: 1, pool_recycling, ..GtvConfig::smoke() }
+}
+
+struct Measurement {
+    seconds_per_round: f64,
+    steps_per_sec: f64,
+    allocations_per_step: f64,
+    pool_hit_rate: f64,
+}
+
+/// Warms the trainer up, then times `TIMED_ROUNDS` rounds `reps` times.
+fn measure(mut run_round: impl FnMut(), steps_per_round: usize, reps: usize) -> Measurement {
+    for _ in 0..WARMUP_ROUNDS {
+        run_round();
+    }
+    pool_mem::reset_stats();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..TIMED_ROUNDS {
+            run_round();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let stats = pool_mem::stats();
+    let steps = (reps * TIMED_ROUNDS * steps_per_round) as f64;
+    let requests = stats.hits + stats.misses;
+    Measurement {
+        seconds_per_round: best / TIMED_ROUNDS as f64,
+        steps_per_sec: steps_per_round as f64 / (best / TIMED_ROUNDS as f64),
+        allocations_per_step: stats.misses as f64 / steps,
+        pool_hit_rate: if requests == 0 { 0.0 } else { stats.hits as f64 / requests as f64 },
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_step.json".to_string());
+    let reps = std::env::var("GTV_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    eprintln!("bench_step: {ROWS} rows, {TIMED_ROUNDS} timed rounds, {reps} reps");
+
+    let table = Dataset::Loan.generate(ROWS, 0);
+    let n_cols = table.n_cols();
+    let split: Vec<Vec<usize>> = vec![(0..n_cols / 2).collect(), (n_cols / 2..n_cols).collect()];
+
+    let mut entries = Vec::new();
+    for pool_recycling in [true, false] {
+        for scenario in ["centralized", "vfl_2client"] {
+            // Fresh pool per scenario so parked buffers from the previous
+            // configuration can't subsidize this one's hit rate.
+            pool_mem::clear();
+            let cfg = config(pool_recycling);
+            let steps_per_round = cfg.d_steps + 1;
+            let m = match scenario {
+                "centralized" => {
+                    let mut t = CentralizedTrainer::new(table.clone(), cfg);
+                    measure(
+                        || t.train_round().expect("in-process transport"),
+                        steps_per_round,
+                        reps,
+                    )
+                }
+                _ => {
+                    let shards = table.vertical_split(&split);
+                    let mut t = GtvTrainer::new(shards, cfg);
+                    measure(
+                        || t.train_round().expect("in-process transport"),
+                        steps_per_round,
+                        reps,
+                    )
+                }
+            };
+            eprintln!(
+                "  {scenario:<12} pool={pool_recycling:<5} {:>8.1} steps/s  {:>7.1} allocs/step  hit rate {:.3}",
+                m.steps_per_sec, m.allocations_per_step, m.pool_hit_rate
+            );
+            entries.push(format!(
+                "{{\"scenario\":\"{scenario}\",\"pool_recycling\":{pool_recycling},\
+                 \"seconds_per_round\":{},\"steps_per_sec\":{},\
+                 \"allocations_per_step\":{},\"pool_hit_rate\":{}}}",
+                json_f(m.seconds_per_round),
+                json_f(m.steps_per_sec),
+                json_f(m.allocations_per_step),
+                json_f(m.pool_hit_rate)
+            ));
+        }
+    }
+    pool_mem::set_enabled(true);
+    pool_mem::clear();
+
+    let json = format!(
+        "{{\"rows\":{ROWS},\"reps\":{reps},\"timed_rounds\":{TIMED_ROUNDS},\"scenarios\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("writing the benchmark report");
+    println!("wrote {out_path}");
+}

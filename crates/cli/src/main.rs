@@ -26,7 +26,7 @@ USAGE:
   gtv-cli demo     --dataset <loan|adult|covtype|intrusion|credit> [--rows N] [--seed S] --out FILE
   gtv-cli synth    --input FILE [--target COL] [--clients N] [--rounds R] [--batch B]
                    [--width W] [--partition d2g0|d2g2] [--seed S] [--threads T] --out FILE
-                   [--save-weights FILE] [--load-weights FILE]
+                   [--save-weights FILE] [--load-weights FILE] [--alloc-stats true]
   gtv-cli evaluate --real FILE --synth FILE --target COL [--seed S]
   gtv-cli privacy  --input FILE [--rounds R] [--clients N]
 ";
@@ -90,8 +90,39 @@ fn build_config(args: &Args) -> Result<GtvConfig, String> {
         block_width: args.parsed_or("width", 256usize).map_err(|e| e.to_string())?,
         seed: args.parsed_or("seed", 0u64).map_err(|e| e.to_string())?,
         threads: args.parsed_or("threads", 0usize).map_err(|e| e.to_string())?,
+        alloc_stats: args.parsed_or("alloc-stats", false).map_err(|e| e.to_string())?,
         ..GtvConfig::default()
     })
+}
+
+/// Prints the per-step allocation counters recorded during training
+/// (`--alloc-stats true`): warm-up step, steady-state allocator misses per
+/// step and the overall pool hit rate (DESIGN.md §9).
+fn print_alloc_stats(stats: &[gtv::StepAllocStats]) {
+    let Some(last) = stats.last() else {
+        println!("alloc stats: no steps recorded");
+        return;
+    };
+    let steps = stats.len() as u64;
+    let requests = last.pool_hits + last.pool_misses;
+    let hit_rate = if requests == 0 { 0.0 } else { last.pool_hits as f64 / requests as f64 };
+    // Steady state excludes the cold first step, which must populate the
+    // pool before anything can be recycled.
+    let warm_misses = if stats.len() > 1 {
+        (last.pool_misses - stats[0].pool_misses) as f64 / (steps - 1) as f64
+    } else {
+        last.pool_misses as f64
+    };
+    println!(
+        "alloc stats: {} steps | {} live graph nodes/step | cold-step misses {} | \
+         warm misses/step {:.1} | pool hit rate {:.3} | {:.1} MiB requested",
+        steps,
+        last.live_nodes,
+        stats[0].pool_misses,
+        warm_misses,
+        hit_rate,
+        last.bytes_requested as f64 / (1024.0 * 1024.0)
+    );
 }
 
 fn synth(args: &Args) -> Result<(), String> {
@@ -117,6 +148,9 @@ fn synth(args: &Args) -> Result<(), String> {
         println!("loaded weights from {path} — skipping training");
     } else {
         trainer.train().map_err(|e| e.to_string())?;
+        if trainer.config().alloc_stats {
+            print_alloc_stats(trainer.alloc_stats());
+        }
     }
     if let Some(path) = args.optional("save-weights") {
         trainer.save_weights().save(path).map_err(|e| e.to_string())?;
@@ -220,7 +254,8 @@ mod tests {
                 .collect();
         run(&argv).unwrap();
         let argv: Vec<String> = format!(
-            "synth --input {} --target personal_loan --rounds 2 --batch 16 --width 32 --out {}",
+            "synth --input {} --target personal_loan --rounds 2 --batch 16 --width 32 \
+             --alloc-stats true --out {}",
             demo_path.display(),
             synth_path.display()
         )

@@ -65,6 +65,12 @@ impl CentralizedTrainer {
     pub fn history(&self) -> &TrainHistory {
         self.inner.history()
     }
+
+    /// Per-step allocation snapshots (empty unless
+    /// [`GtvConfig::alloc_stats`] is on).
+    pub fn alloc_stats(&self) -> &[crate::StepAllocStats] {
+        self.inner.alloc_stats()
+    }
 }
 
 #[cfg(test)]

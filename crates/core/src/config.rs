@@ -139,6 +139,19 @@ pub struct GtvConfig {
     /// setting — the pool's chunking depends only on problem size (see
     /// DESIGN.md §8) — so this is purely a throughput knob.
     pub threads: usize,
+    /// When `true` (the default), tensor storage freed by the end-of-step
+    /// [`Graph::reset`](gtv_tensor::Graph::reset) is recycled through the
+    /// shape-keyed buffer pool (DESIGN.md §9) instead of returned to the
+    /// allocator. Recycled buffers are bit-identical to fresh ones; this is
+    /// purely a throughput/allocator-pressure knob.
+    pub pool_recycling: bool,
+    /// When `true`, the trainer records a [`StepAllocStats`](crate::StepAllocStats)
+    /// snapshot (live graph nodes, pool hits/misses, bytes requested) at the
+    /// end of every training step, retrievable via
+    /// [`GtvTrainer::alloc_stats`](crate::GtvTrainer::alloc_stats). Off by
+    /// default — counters are always maintained, this only controls the
+    /// per-step history.
+    pub alloc_stats: bool,
 }
 
 impl Default for GtvConfig {
@@ -160,6 +173,8 @@ impl Default for GtvConfig {
             client_width_multipliers: Vec::new(),
             faithful_real_path: false,
             threads: 0,
+            pool_recycling: true,
+            alloc_stats: false,
         }
     }
 }

@@ -49,7 +49,7 @@ pub use generator::SplitGenerator;
 pub use privacy::{
     column_truths, ClientIndexObserver, ColumnTruth, ReconstructionReport, ServerObserver,
 };
-pub use trainer::{GtvTrainer, TrainHistory};
+pub use trainer::{GtvTrainer, StepAllocStats, TrainHistory};
 // The protocol error surface, re-exported so downstream users of the
 // trainer can match on it without depending on gtv-vfl directly.
 pub use gtv_vfl::TransportError;

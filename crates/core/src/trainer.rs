@@ -33,6 +33,23 @@ pub struct TrainHistory {
     pub g_loss: Vec<f32>,
 }
 
+/// End-of-step allocation snapshot, recorded when
+/// [`GtvConfig::alloc_stats`] is on. Pool counters are *cumulative* for the
+/// calling thread; per-step deltas are differences between consecutive
+/// entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepAllocStats {
+    /// Autograd nodes alive at the end of the step, released by
+    /// [`Graph::reset`]. A growing value across identical steps is a leak.
+    pub live_nodes: usize,
+    /// Cumulative buffer-pool hits (requests served from recycled storage).
+    pub pool_hits: u64,
+    /// Cumulative buffer-pool misses (requests that hit the allocator).
+    pub pool_misses: u64,
+    /// Cumulative bytes requested from the pool.
+    pub bytes_requested: u64,
+}
+
 struct ClientState {
     table: Table,
     transformer: TableTransformer,
@@ -84,6 +101,7 @@ pub struct GtvTrainer {
     current_to_initial: Vec<usize>,
     shuffling_enabled: bool,
     history: TrainHistory,
+    alloc_history: Vec<StepAllocStats>,
     n_rows: usize,
     round: u64,
     step: u64,
@@ -117,8 +135,10 @@ impl GtvTrainer {
     pub fn new(tables: Vec<Table>, config: GtvConfig) -> Self {
         assert!(!tables.is_empty(), "need at least one client table");
         // Size the tensor worker pool before any hot-loop work; results are
-        // bit-identical for every thread count (DESIGN.md §8).
+        // bit-identical for every thread count (DESIGN.md §8), and so is
+        // buffer recycling (DESIGN.md §9).
         gtv_tensor::pool::set_threads(gtv_tensor::pool::resolve_threads(config.threads));
+        gtv_tensor::pool_mem::set_enabled(config.pool_recycling);
         let n_rows = tables[0].n_rows();
         assert!(n_rows > 0, "client tables must be non-empty");
         assert!(
@@ -199,6 +219,7 @@ impl GtvTrainer {
             current_to_initial: (0..n_rows).collect(),
             shuffling_enabled: true,
             history: TrainHistory::default(),
+            alloc_history: Vec::new(),
             n_rows,
             round: 0,
             step: 0,
@@ -240,6 +261,29 @@ impl GtvTrainer {
     /// Per-step loss history.
     pub fn history(&self) -> &TrainHistory {
         &self.history
+    }
+
+    /// Per-step allocation snapshots (empty unless
+    /// [`GtvConfig::alloc_stats`] is on).
+    pub fn alloc_stats(&self) -> &[StepAllocStats] {
+        &self.alloc_history
+    }
+
+    /// End-of-step bookkeeping: optionally snapshot the allocation counters,
+    /// then return the step's graph storage to the recycling pool
+    /// (DESIGN.md §9). Leaf tensors — parameters and data bound into the
+    /// graph — are pinned and survive the reset untouched.
+    fn finish_step(&mut self, g: &Graph) {
+        if self.config.alloc_stats {
+            let s = gtv_tensor::pool_mem::stats();
+            self.alloc_history.push(StepAllocStats {
+                live_nodes: g.len(),
+                pool_hits: s.hits,
+                pool_misses: s.misses,
+                bytes_requested: s.bytes_requested,
+            });
+        }
+        g.reset();
     }
 
     /// The global conditional-vector layout.
@@ -553,6 +597,7 @@ impl GtvTrainer {
         }
         self.d_opt.step();
         self.history.d_loss.push(g.value(d_loss).item());
+        self.finish_step(&g);
         Ok(())
     }
 
@@ -608,6 +653,7 @@ impl GtvTrainer {
         }
         self.g_opt.step();
         self.history.g_loss.push(g.value(g_loss).item());
+        self.finish_step(&g);
         Ok(())
     }
 
@@ -687,6 +733,9 @@ impl GtvTrainer {
                 let (_, act) = self.generator.client_forward(&ctx, i, slices[i]);
                 per_client[i].push(g.value(act));
             }
+            // Each generation batch is its own step scope: recycle its
+            // graph storage before building the next batch's graph.
+            g.reset();
             produced += take;
         }
         // Publication shuffle: shared among clients, unknown to the server.

@@ -6,7 +6,7 @@ use crate::ctx::Ctx;
 use crate::init::Init;
 use crate::layers::{BatchNorm1d, Dropout, Linear};
 use crate::param::{Module, Param};
-use gtv_tensor::Var;
+use gtv_tensor::{FusedAct, Var};
 use rand::Rng;
 
 /// Generator residual block: `FC → BatchNorm → ReLU`, output concatenated
@@ -98,11 +98,10 @@ impl FnBlock {
         &self.fc
     }
 
-    /// Applies the block.
+    /// Applies the block. The FC layer and leaky-ReLU run as one fused
+    /// `affine_act` node; see DESIGN.md §9 for the bit-identity argument.
     pub fn forward(&self, ctx: &Ctx<'_>, x: Var) -> Var {
-        let g = ctx.graph();
-        let h = self.fc.forward(ctx, x);
-        let h = g.leaky_relu(h, self.slope);
+        let h = self.fc.forward_act(ctx, x, FusedAct::LeakyRelu(self.slope));
         self.dropout.forward(ctx, h)
     }
 }

@@ -3,7 +3,7 @@
 use crate::ctx::Ctx;
 use crate::init::Init;
 use crate::param::{Module, Param};
-use gtv_tensor::{Tensor, Var};
+use gtv_tensor::{FusedAct, Tensor, Var};
 use rand::Rng;
 use std::cell::RefCell;
 
@@ -51,6 +51,22 @@ impl Linear {
         let b = ctx.binder().bind(g, &self.b);
         let xw = g.matmul(x, w);
         g.add(xw, b)
+    }
+
+    /// Applies the layer followed by `act` through the fused
+    /// [`Graph::affine_act`](gtv_tensor::Graph::affine_act) kernel, producing
+    /// one graph node (and one pooled buffer) instead of three. Bit-identical
+    /// to `forward` followed by the matching unfused activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the tensor layer) if `x` does not have `in_dim` columns, or
+    /// if `act` is `FusedAct::LeakyRelu` with a non-positive slope.
+    pub fn forward_act(&self, ctx: &Ctx<'_>, x: Var, act: FusedAct) -> Var {
+        let g = ctx.graph();
+        let w = ctx.binder().bind(g, &self.w);
+        let b = ctx.binder().bind(g, &self.b);
+        g.affine_act(x, w, b, act)
     }
 }
 
@@ -229,6 +245,37 @@ mod tests {
         let x = g.leaf(Tensor::from_rows(&[&[3.0, 4.0]]));
         let y = lin.forward(&ctx, x);
         assert_eq!(g.value(y), Tensor::from_rows(&[&[4.0, 3.0]]));
+    }
+
+    #[test]
+    fn linear_forward_act_is_bit_identical_to_unfused() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lin = Linear::new("l", 6, 4, Init::KaimingUniform, &mut rng);
+        let x0 = Tensor::from_fn(5, 6, |r, c| 0.31 * (r as f32) - 0.17 * (c as f32) + 0.2);
+        for act in [FusedAct::Relu, FusedAct::Tanh, FusedAct::Sigmoid, FusedAct::LeakyRelu(0.2)] {
+            let run = |fused: bool| {
+                let g = Graph::new();
+                let ctx = Ctx::train(&g, 0);
+                let x = g.leaf(x0.clone());
+                let h = if fused {
+                    lin.forward_act(&ctx, x, act)
+                } else {
+                    let s = lin.forward(&ctx, x);
+                    match act {
+                        FusedAct::Relu => g.relu(s),
+                        FusedAct::Tanh => g.tanh(s),
+                        FusedAct::Sigmoid => g.sigmoid(s),
+                        FusedAct::LeakyRelu(a) => g.leaky_relu(s, a),
+                    }
+                };
+                let y = g.mean_all(g.mul(h, h));
+                let grads = g.grad(y, &[x]);
+                let mut out: Vec<u32> = g.value(h).as_slice().iter().map(|v| v.to_bits()).collect();
+                out.extend(g.value(grads[0]).as_slice().iter().map(|v| v.to_bits()));
+                out
+            };
+            assert_eq!(run(true), run(false), "fused {act:?} diverged in Linear::forward_act");
+        }
     }
 
     #[test]

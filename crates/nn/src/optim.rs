@@ -81,22 +81,37 @@ impl Adam {
     }
 
     /// Applies one Adam update using each parameter's accumulated gradient.
+    ///
+    /// The moments and the parameter are updated in place — the optimizer
+    /// allocates nothing in the training hot loop. The per-element
+    /// arithmetic (operand order included) matches the tensor-expression
+    /// formulation it replaced, so trajectories are bit-identical.
     pub fn step(&mut self) {
         self.t += 1;
         let c = self.cfg;
-        let bc1 = 1.0 - c.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - c.beta2.powi(self.t as i32);
+        let rb1 = 1.0 / (1.0 - c.beta1.powi(self.t as i32));
+        let rb2 = 1.0 / (1.0 - c.beta2.powi(self.t as i32));
         for slot in &mut self.slots {
-            let mut grad = slot.param.grad();
-            if c.weight_decay != 0.0 {
-                grad = grad.add(&slot.param.value().mul_scalar(c.weight_decay));
+            let grad = slot.param.grad();
+            let mut value = slot.param.value();
+            let gs = grad.as_slice();
+            let values = value.as_mut_slice();
+            let ms = slot.m.as_mut_slice();
+            let vs = slot.v.as_mut_slice();
+            for i in 0..gs.len() {
+                let mut g = gs[i];
+                if c.weight_decay != 0.0 {
+                    g += values[i] * c.weight_decay;
+                }
+                let m = ms[i] * c.beta1 + g * (1.0 - c.beta1);
+                let v = vs[i] * c.beta2 + (g * g) * (1.0 - c.beta2);
+                ms[i] = m;
+                vs[i] = v;
+                let m_hat = m * rb1;
+                let v_hat = v * rb2;
+                values[i] -= (m_hat / (v_hat.sqrt() + c.eps)) * c.lr;
             }
-            slot.m = slot.m.mul_scalar(c.beta1).add(&grad.mul_scalar(1.0 - c.beta1));
-            slot.v = slot.v.mul_scalar(c.beta2).add(&grad.mul(&grad).mul_scalar(1.0 - c.beta2));
-            let m_hat = slot.m.mul_scalar(1.0 / bc1);
-            let v_hat = slot.v.mul_scalar(1.0 / bc2);
-            let update = m_hat.zip(&v_hat, |m, v| m / (v.sqrt() + c.eps)).mul_scalar(c.lr);
-            slot.param.set_value(slot.param.value().sub(&update));
+            slot.param.set_value(value);
         }
     }
 

@@ -7,7 +7,7 @@
 //! this is what powers the WGAN-GP gradient penalty.
 
 use crate::graph::{Graph, Op, Var};
-use crate::kernels::UnaryOp;
+use crate::kernels::{FusedAct, UnaryOp};
 use crate::Tensor;
 
 impl Graph {
@@ -55,7 +55,7 @@ impl Graph {
         let y_shape = self.shape(y);
         let limit = y.0 + 1;
         let mut adj: Vec<Option<Var>> = vec![None; limit];
-        let seed = self.leaf(Tensor::ones(y_shape.0, y_shape.1));
+        let seed = self.constant(Tensor::ones(y_shape.0, y_shape.1));
         adj[y.0] = Some(seed);
 
         for i in (0..limit).rev() {
@@ -63,7 +63,7 @@ impl Graph {
             let op = self.nodes.borrow()[i].op.clone();
             let out_var = Var(i);
             match op {
-                Op::Leaf => {}
+                Op::Leaf | Op::Const => {}
                 Op::Add(a, b) => {
                     let (ar, ac) = self.shape(a);
                     let (br, bc) = self.shape(b);
@@ -182,13 +182,13 @@ impl Graph {
                     // Mask is a constant w.r.t. further differentiation
                     // (d²/dx² relu = 0 almost everywhere).
                     let mask = self.with_value(x, |t| t.apply(UnaryOp::ReluMask));
-                    let mask = self.leaf(mask);
+                    let mask = self.constant(mask);
                     let gx = self.mul(g_out, mask);
                     self.accumulate(&mut adj, x.0, gx);
                 }
                 Op::LeakyRelu(x, alpha) => {
                     let mask = self.with_value(x, |t| t.apply(UnaryOp::LeakyReluMask(alpha)));
-                    let mask = self.leaf(mask);
+                    let mask = self.constant(mask);
                     let gx = self.mul(g_out, mask);
                     self.accumulate(&mut adj, x.0, gx);
                 }
@@ -220,6 +220,66 @@ impl Graph {
                     let gx = self.select_rows(g_out, &idx);
                     self.accumulate(&mut adj, x.0, gx);
                 }
+                Op::AffineAct(x, w, b, act) => {
+                    // Adjoint at the pre-activation `s = x@w + b`, recovered
+                    // from the fused *output* alone: tanh/sigmoid gradients
+                    // are functions of the output, and the relu/leaky masks
+                    // share the output's sign (leaky needs α > 0, asserted
+                    // at construction; −0.0 ≥ 0 keeps the edge case exact).
+                    // These are the very formulas the unfused activation
+                    // arms above emit, so fused and unfused backward — and
+                    // double backward — are bit-identical.
+                    let g_s = match act {
+                        FusedAct::Tanh => {
+                            let o2 = self.mul(out_var, out_var);
+                            let one_minus = self.neg(o2);
+                            let one_minus = self.add_scalar(one_minus, 1.0);
+                            self.mul(g_out, one_minus)
+                        }
+                        FusedAct::Sigmoid => {
+                            let one_minus = self.neg(out_var);
+                            let one_minus = self.add_scalar(one_minus, 1.0);
+                            let t = self.mul(out_var, one_minus);
+                            self.mul(g_out, t)
+                        }
+                        FusedAct::Relu => {
+                            let mask = self.with_value(out_var, |t| t.apply(UnaryOp::ReluMask));
+                            let mask = self.constant(mask);
+                            self.mul(g_out, mask)
+                        }
+                        FusedAct::LeakyRelu(alpha) => {
+                            let mask = self
+                                .with_value(out_var, |t| t.apply(UnaryOp::LeakyReluMask(alpha)));
+                            let mask = self.constant(mask);
+                            self.mul(g_out, mask)
+                        }
+                    };
+                    // Bias add, then matmul — exactly the unfused adjoints.
+                    let (br, bc) = self.shape(b);
+                    let gb = self.reduce_to(g_s, br, bc);
+                    self.accumulate(&mut adj, b.0, gb);
+                    let wt = self.transpose(w);
+                    let gx = self.matmul(g_s, wt);
+                    self.accumulate(&mut adj, x.0, gx);
+                    let xt = self.transpose(x);
+                    let gw = self.matmul(xt, g_s);
+                    self.accumulate(&mut adj, w.0, gw);
+                }
+                Op::RowNormEps(x) => {
+                    // Unfused chain: sq = x·x, s = Σ_cols sq, out = √(s+eps).
+                    // Sqrt adjoint (g/2·out) passes through add_scalar
+                    // unchanged, broadcasts back over the row, then the
+                    // x·x product contributes twice — mirrored literally so
+                    // node values match the unfused backward bit for bit.
+                    let (r, c) = self.shape(x);
+                    let half = self.mul_scalar(g_out, 0.5);
+                    let g_norm = self.div(half, out_var);
+                    let g_sq = self.broadcast_to(g_norm, r, c);
+                    let p = self.mul(g_sq, x);
+                    let q = self.mul(g_sq, x);
+                    let gx = self.add(q, p);
+                    self.accumulate(&mut adj, x.0, gx);
+                }
             }
         }
 
@@ -228,7 +288,7 @@ impl Graph {
                 Some(g) => g,
                 None => {
                     let (r, c) = self.shape(*v);
-                    self.leaf(Tensor::zeros(r, c))
+                    self.constant(Tensor::zeros(r, c))
                 }
             })
             .collect()

@@ -21,7 +21,7 @@
 //! assert_eq!(g.value(d2y).item(), 2.0);
 //! ```
 
-use crate::kernels::UnaryOp;
+use crate::kernels::{self, FusedAct, UnaryOp};
 use crate::Tensor;
 use std::cell::RefCell;
 
@@ -35,8 +35,14 @@ pub struct Var(pub(crate) usize);
 /// The operation that produced a node. Used to build backward passes.
 #[derive(Debug, Clone)]
 pub(crate) enum Op {
-    /// Input node: parameter, constant, or detached value.
+    /// Input node: parameter, constant, or detached value. Pinned by
+    /// [`Graph::reset`] — its storage is never recycled, because the value
+    /// conceptually belongs to the caller (parameters, data batches).
     Leaf,
+    /// Internal gradient-cut node (backward masks, gradient seeds,
+    /// zero-gradient placeholders). Behaves exactly like [`Op::Leaf`] under
+    /// differentiation but is graph-owned, so [`Graph::reset`] recycles it.
+    Const,
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -71,6 +77,10 @@ pub(crate) enum Op {
     /// Scatter-add of the input's rows into a zero tensor with `total_rows`
     /// rows at the given positions (adjoint of `SelectRows`).
     ScatterRows(Var, std::rc::Rc<Vec<usize>>),
+    /// Fused `act(x @ w + b)` with `b` a `1×m` bias row.
+    AffineAct(Var, Var, Var, FusedAct),
+    /// Fused row-wise `sqrt(Σ_cols x² + eps)` (`n×m → n×1`).
+    RowNormEps(Var),
 }
 
 pub(crate) struct Node {
@@ -116,9 +126,36 @@ impl Graph {
     }
 
     /// Creates an input node holding `value`. Gradients can flow *to* leaves
-    /// but not through them.
+    /// but not through them. Leaf storage is pinned across [`Graph::reset`].
     pub fn leaf(&self, value: Tensor) -> Var {
         self.push(value, Op::Leaf)
+    }
+
+    /// Creates an internal gradient-cut node (same differentiation behavior
+    /// as [`Graph::leaf`]) whose storage the graph owns and may recycle.
+    pub(crate) fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Op::Const)
+    }
+
+    /// Ends a training step: drains the arena, parking every non-pinned
+    /// node's storage in the thread-local recycling pool
+    /// ([`crate::pool_mem`]) so the next step's allocations are pool hits.
+    /// [`Op::Leaf`] values (parameters, data batches, detached values —
+    /// anything the *caller* created) are dropped without recycling, so a
+    /// tensor the caller still holds a clone of is never fed back into the
+    /// allocator's fast path; optimizer state lives outside the graph and
+    /// is untouched. Returns the number of nodes released. All `Var`
+    /// handles into this graph are invalidated.
+    pub fn reset(&self) -> usize {
+        let nodes = std::mem::take(&mut *self.nodes.borrow_mut());
+        let count = nodes.len();
+        for node in nodes {
+            match node.op {
+                Op::Leaf => drop(node.value),
+                _ => node.value.recycle(),
+            }
+        }
+        count
     }
 
     /// Creates a leaf holding a copy of `v`'s current value — the value flows
@@ -373,7 +410,7 @@ impl Graph {
             }
             m
         });
-        let mx = self.leaf(rowmax);
+        let mx = self.constant(rowmax);
         let shifted = self.sub(x, mx);
         let e = self.exp(shifted);
         let denom = self.sum_cols(e);
@@ -381,11 +418,61 @@ impl Graph {
     }
 
     /// Row-wise L2 norm with numerical floor `eps`: `sqrt(Σ_cols x² + eps)`.
+    /// Runs on the fused [`Graph::row_norm_eps`] kernel; bit-identical to
+    /// the primitive `square → sum_cols → add_scalar → sqrt` chain.
     pub fn l2_norm_rows(&self, x: Var, eps: f32) -> Var {
-        let sq = self.square(x);
-        let s = self.sum_cols(sq);
-        let s = self.add_scalar(s, eps);
-        self.sqrt(s)
+        self.row_norm_eps(x, eps)
+    }
+
+    /// Fused affine + activation: `act(x @ w + b)` in one pass over the
+    /// matmul output. Backward differentiates it exactly like the unfused
+    /// `matmul → add → activation` chain (including twice, for WGAN-GP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != w.rows()`, if `b` is not a `1×m` row, or if a
+    /// leaky slope is not strictly positive (the backward pass recovers the
+    /// mask from the fused output's sign, which needs `α > 0` — `α = 0` is
+    /// plain [`FusedAct::Relu`]).
+    pub fn affine_act(&self, x: Var, w: Var, b: Var, act: FusedAct) -> Var {
+        if let FusedAct::LeakyRelu(alpha) = act {
+            assert!(
+                alpha > 0.0,
+                "affine_act requires a strictly positive leaky slope, got {alpha}"
+            );
+        }
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (xv, wv, bv) = (&nodes[x.0].value, &nodes[w.0].value, &nodes[b.0].value);
+            assert_eq!(
+                xv.cols(),
+                wv.rows(),
+                "affine_act shape mismatch: {}x{} @ {}x{}",
+                xv.rows(),
+                xv.cols(),
+                wv.rows(),
+                wv.cols()
+            );
+            let (n, k, m) = (xv.rows(), xv.cols(), wv.cols());
+            assert_eq!(bv.shape(), (1, m), "affine_act bias must be 1x{m}, got {:?}", bv.shape());
+            let data =
+                kernels::affine_act(n, k, m, xv.as_slice(), wv.as_slice(), bv.as_slice(), act);
+            Tensor::from_vec(n, m, data)
+        };
+        self.push(value, Op::AffineAct(x, w, b, act))
+    }
+
+    /// Fused row-wise norm with floor: `sqrt(Σ_cols x² + eps)` (`n×m → n×1`)
+    /// in one pass per row, used by the WGAN-GP gradient penalty.
+    pub fn row_norm_eps(&self, x: Var, eps: f32) -> Var {
+        self.unary(
+            x,
+            |t| {
+                let data = kernels::row_norm_eps(t.as_slice(), t.rows(), t.cols(), eps);
+                Tensor::from_vec(t.rows(), 1, data)
+            },
+            Op::RowNormEps(x),
+        )
     }
 }
 

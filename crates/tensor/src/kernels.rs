@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use crate::pool;
+use crate::pool_mem;
 
 /// Output rows per matmul chunk.
 const ROW_BLOCK: usize = 16;
@@ -101,6 +102,39 @@ impl UnaryOp {
     }
 }
 
+/// Activation applied by the fused affine kernel ([`affine_act`]).
+///
+/// A separate enum (rather than reusing [`UnaryOp`]) so only activations —
+/// not masks or scalar ops — can be fused behind a `matmul + bias`, and so
+/// the backward pass can match on exactly these four cases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedAct {
+    /// `max(x, 0)`
+    Relu,
+    /// `tanh x`
+    Tanh,
+    /// `1 / (1 + e^-x)`
+    Sigmoid,
+    /// `x` for `x ≥ 0`, else `αx`. The graph layer requires `α > 0` so the
+    /// backward mask can be recovered from the fused *output* sign.
+    LeakyRelu(f32),
+}
+
+impl FusedAct {
+    /// The elementwise kernel this activation fuses. The fused path
+    /// evaluates the *same* [`UnaryOp::eval`] arithmetic, which is what
+    /// makes fused and unfused results bit-identical.
+    #[inline]
+    pub(crate) fn unary(self) -> UnaryOp {
+        match self {
+            FusedAct::Relu => UnaryOp::Relu,
+            FusedAct::Tanh => UnaryOp::Tanh,
+            FusedAct::Sigmoid => UnaryOp::Sigmoid,
+            FusedAct::LeakyRelu(alpha) => UnaryOp::LeakyRelu(alpha),
+        }
+    }
+}
+
 /// Elementwise binary kernels (same-shape fast path of `zip`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
@@ -138,13 +172,17 @@ fn elem_chunks(len: usize) -> usize {
 pub(crate) fn unary(data: &[f32], op: UnaryOp) -> Vec<f32> {
     let len = data.len();
     if pool::threads() == 1 || len <= ELEM_BLOCK {
-        return data.iter().map(|&v| op.eval(v)).collect();
+        let mut out = pool_mem::take(len);
+        out.extend(data.iter().map(|&v| op.eval(v)));
+        return out;
     }
     let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
     let chunks = pool::run_chunks(elem_chunks(len), move |i| {
         let lo = i * ELEM_BLOCK;
         let hi = (lo + ELEM_BLOCK).min(len);
-        shared[lo..hi].iter().map(|&v| op.eval(v)).collect::<Vec<f32>>()
+        let mut out = pool_mem::take(hi - lo);
+        out.extend(shared[lo..hi].iter().map(|&v| op.eval(v)));
+        out
     });
     stitch(chunks, len)
 }
@@ -154,22 +192,29 @@ pub(crate) fn binary(a: &[f32], b: &[f32], op: BinaryOp) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len());
     let len = a.len();
     if pool::threads() == 1 || len <= ELEM_BLOCK {
-        return a.iter().zip(b).map(|(&x, &y)| op.eval(x, y)).collect();
+        let mut out = pool_mem::take(len);
+        out.extend(a.iter().zip(b).map(|(&x, &y)| op.eval(x, y)));
+        return out;
     }
     let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
     let b: Arc<Vec<f32>> = Arc::new(b.to_vec());
     let chunks = pool::run_chunks(elem_chunks(len), move |i| {
         let lo = i * ELEM_BLOCK;
         let hi = (lo + ELEM_BLOCK).min(len);
-        a[lo..hi].iter().zip(&b[lo..hi]).map(|(&x, &y)| op.eval(x, y)).collect::<Vec<f32>>()
+        let mut out = pool_mem::take(hi - lo);
+        out.extend(a[lo..hi].iter().zip(&b[lo..hi]).map(|(&x, &y)| op.eval(x, y)));
+        out
     });
     stitch(chunks, len)
 }
 
+/// Concatenates chunk outputs in index order; each drained chunk buffer is
+/// parked back in the recycling pool.
 fn stitch(chunks: Vec<Vec<f32>>, len: usize) -> Vec<f32> {
-    let mut out = Vec::with_capacity(len);
+    let mut out = pool_mem::take(len);
     for chunk in chunks {
         out.extend_from_slice(&chunk);
+        pool_mem::give(chunk);
     }
     out
 }
@@ -246,14 +291,14 @@ fn rows_per_chunk(cols: usize) -> usize {
 /// partial vectors combine in a fixed pairwise tree.
 pub(crate) fn col_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
     if rows == 0 || cols == 0 {
-        return vec![0.0; cols];
+        return pool_mem::take_zeroed(cols);
     }
     let block = rows_per_chunk(cols);
     let n_chunks = rows.div_ceil(block);
     let accumulate = move |i: usize, data: &[f32]| {
         let lo = i * block;
         let hi = ((i + 1) * block).min(rows);
-        let mut acc = vec![0.0f32; cols];
+        let mut acc = pool_mem::take_zeroed(cols);
         for r in lo..hi {
             for (a, v) in acc.iter_mut().zip(&data[r * cols..(r + 1) * cols]) {
                 *a += v;
@@ -276,6 +321,7 @@ pub(crate) fn col_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
                     for (a, b) in merged.iter_mut().zip(pair[1].iter()) {
                         *a += *b;
                     }
+                    pool_mem::give(std::mem::take(&mut pair[1]));
                 }
                 merged
             })
@@ -289,14 +335,16 @@ pub(crate) fn col_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
 /// run on the pool when the buffer is large.
 pub(crate) fn row_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
     if rows == 0 || cols == 0 {
-        return vec![0.0; rows];
+        return pool_mem::take_zeroed(rows);
     }
     let block = rows_per_chunk(cols);
     let n_chunks = rows.div_ceil(block);
     let accumulate = move |i: usize, data: &[f32]| {
         let lo = i * block;
         let hi = ((i + 1) * block).min(rows);
-        (lo..hi).map(|r| leaf_sum(&data[r * cols..(r + 1) * cols])).collect::<Vec<f32>>()
+        let mut out = pool_mem::take(hi - lo);
+        out.extend((lo..hi).map(|r| leaf_sum(&data[r * cols..(r + 1) * cols])));
+        out
     };
     if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
         let chunks: Vec<Vec<f32>> = (0..n_chunks).map(|i| accumulate(i, data)).collect();
@@ -332,7 +380,7 @@ fn dot(x: &[f32], y: &[f32]) -> f32 {
 /// Packs the RHS into its transpose so the dot kernel streams both
 /// operands contiguously.
 fn pack_transpose(b: &[f32], k: usize, m: usize) -> Vec<f32> {
-    let mut bt = vec![0.0f32; b.len()];
+    let mut bt = pool_mem::take_zeroed(b.len());
     for p in 0..k {
         for j in 0..m {
             bt[j * k + p] = b[p * m + j];
@@ -344,7 +392,7 @@ fn pack_transpose(b: &[f32], k: usize, m: usize) -> Vec<f32> {
 /// Dense matmul kernel for output rows `r0..r1`: packed-transpose dot
 /// products, no term skipped — full IEEE NaN/Inf propagation.
 fn dense_rows(a: &[f32], bt: &[f32], k: usize, m: usize, r0: usize, r1: usize) -> Vec<f32> {
-    let mut out = Vec::with_capacity((r1 - r0) * m);
+    let mut out = pool_mem::take((r1 - r0) * m);
     for i in r0..r1 {
         let a_row = &a[i * k..(i + 1) * k];
         for j in 0..m {
@@ -358,7 +406,7 @@ fn dense_rows(a: &[f32], bt: &[f32], k: usize, m: usize, r0: usize, r1: usize) -
 /// RHS is entirely finite: then every skipped term is an exact `±0.0` and
 /// skipping cannot change the result (see [`matmul`]).
 fn sparse_rows(a: &[f32], b: &[f32], k: usize, m: usize, r0: usize, r1: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; (r1 - r0) * m];
+    let mut out = pool_mem::take_zeroed((r1 - r0) * m);
     for i in r0..r1 {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[(i - r0) * m..(i - r0 + 1) * m];
@@ -417,15 +465,79 @@ pub(crate) fn matmul(n: usize, k: usize, m: usize, a: &[f32], b: &[f32]) -> Vec<
                 dense_rows(&a, &bt, k, m, r0, r1)
             })
         } else {
-            (0..n_chunks)
+            let chunks = (0..n_chunks)
                 .map(|i| {
                     let (r0, r1) = bounds(i);
                     dense_rows(a, &bt, k, m, r0, r1)
                 })
-                .collect()
+                .collect();
+            pool_mem::give(bt);
+            chunks
         }
     };
     stitch(chunks, n * m)
+}
+
+/// Fused affine + activation: `act(x @ w + bias)` for a row-major `n×k`
+/// LHS, `k×m` weights and a length-`m` bias row, in one pass over the
+/// matmul output block.
+///
+/// Bit-identity with the unfused composition is by construction: the
+/// matmul is the *same* kernel, and the bias add + activation evaluate
+/// exactly the arithmetic the broadcasting `add` and elementwise
+/// [`UnaryOp::eval`] would — `act.eval(xw[r·m + c] + bias[c])` per element,
+/// which is order-independent and therefore thread-count independent.
+pub(crate) fn affine_act(
+    n: usize,
+    k: usize,
+    m: usize,
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    act: FusedAct,
+) -> Vec<f32> {
+    debug_assert_eq!(bias.len(), m);
+    let mut out = matmul(n, k, m, x, w);
+    let op = act.unary();
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = op.eval(*v + bias[i % m]);
+    }
+    out
+}
+
+/// Fused row norm with floor: `sqrt(Σ_cols x² + eps)` per row of a
+/// row-major `rows×cols` buffer, in one pass per row.
+///
+/// Matches the unfused `square → row sums → + eps → sqrt` chain bit for
+/// bit: the unfused row sum runs [`leaf_sum`] sequentially over a whole
+/// row of stored `v·v` products (rows are never split across chunks), and
+/// [`leaf_sum_squares`] performs that identical left-to-right fold on the
+/// fly. Row blocks run on the worker pool for large buffers with the same
+/// chunking as [`row_sums`].
+pub(crate) fn row_norm_eps(data: &[f32], rows: usize, cols: usize, eps: f32) -> Vec<f32> {
+    if rows == 0 || cols == 0 {
+        // Empty rows sum to 0, so every norm is √eps — same as unfused.
+        return pool_mem::take_filled(rows, eps.sqrt());
+    }
+    let block = rows_per_chunk(cols);
+    let n_chunks = rows.div_ceil(block);
+    let accumulate = move |i: usize, data: &[f32]| {
+        let lo = i * block;
+        let hi = ((i + 1) * block).min(rows);
+        let mut out = pool_mem::take(hi - lo);
+        out.extend(
+            (lo..hi).map(|r| (leaf_sum_squares(&data[r * cols..(r + 1) * cols]) + eps).sqrt()),
+        );
+        out
+    };
+    if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
+        let chunks: Vec<Vec<f32>> = (0..n_chunks).map(|i| accumulate(i, data)).collect();
+        stitch(chunks, rows)
+    } else {
+        let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
+        let chunks = pool::run_chunks(n_chunks, move |i| accumulate(i, &shared));
+        stitch(chunks, rows)
+    }
 }
 
 #[cfg(test)]

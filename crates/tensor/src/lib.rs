@@ -20,6 +20,11 @@
 //! problem size, so results are **bit-identical** for any `GTV_THREADS`
 //! setting — see DESIGN.md §8 for the full contract.
 //!
+//! Tensor storage comes from a shape-keyed recycling pool ([`pool_mem`]):
+//! [`Graph::reset`] returns a finished step's node storage for reuse by the
+//! next step, which removes almost all allocation from the training hot
+//! loop — see DESIGN.md §9 for the memory model.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,8 +44,9 @@ mod backward;
 mod graph;
 mod kernels;
 pub mod pool;
+pub mod pool_mem;
 mod tensor;
 
 pub use graph::{Graph, Var};
-pub use kernels::{BinaryOp, UnaryOp};
+pub use kernels::{BinaryOp, FusedAct, UnaryOp};
 pub use tensor::Tensor;

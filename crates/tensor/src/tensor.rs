@@ -6,6 +6,7 @@
 //! Broadcasting follows NumPy semantics restricted to those shapes.
 
 use crate::kernels::{self, BinaryOp, UnaryOp};
+use crate::pool_mem;
 use rand::Rng;
 use std::fmt;
 
@@ -71,7 +72,7 @@ impl Tensor {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         assert!(!rows.is_empty(), "from_rows requires at least one row");
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = pool_mem::take(rows.len() * cols);
         for r in rows {
             assert_eq!(r.len(), cols, "ragged rows in from_rows");
             data.extend_from_slice(r);
@@ -96,17 +97,17 @@ impl Tensor {
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self::from_vec(rows, cols, vec![0.0; rows * cols])
+        Self::from_vec(rows, cols, pool_mem::take_zeroed(rows * cols))
     }
 
     /// All-ones tensor of the given shape.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self::from_vec(rows, cols, vec![1.0; rows * cols])
+        Self::full(rows, cols, 1.0)
     }
 
     /// Tensor filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self::from_vec(rows, cols, vec![v; rows * cols])
+        Self::from_vec(rows, cols, pool_mem::take_filled(rows * cols, v))
     }
 
     /// Identity matrix of size `n×n`.
@@ -120,7 +121,7 @@ impl Tensor {
 
     /// Builds a tensor by evaluating `f(row, col)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool_mem::take(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -132,7 +133,7 @@ impl Tensor {
     /// Standard-normal samples in the given shape (Box–Muller).
     pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
         let n = rows * cols;
-        let mut data = Vec::with_capacity(n);
+        let mut data = pool_mem::take(n);
         while data.len() < n {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
@@ -148,7 +149,9 @@ impl Tensor {
 
     /// Uniform samples in `[lo, hi)`.
     pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
-        Self::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect())
+        let mut data = pool_mem::take(rows * cols);
+        data.extend((0..rows * cols).map(|_| rng.gen_range(lo..hi)));
+        Self::from_vec(rows, cols, data)
     }
 
     /// Number of rows.
@@ -189,6 +192,14 @@ impl Tensor {
     /// Consumes the tensor, returning the row-major buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+
+    /// Consumes the tensor and parks its storage in the thread-local
+    /// recycling pool ([`crate::pool_mem`]) for the next same-shaped
+    /// allocation. Dropping a tensor normally is always correct; recycling
+    /// is the fast path the training loop uses via `Graph::reset`.
+    pub fn recycle(self) {
+        pool_mem::give(self.data);
     }
 
     /// Element at `(r, c)`.
@@ -246,7 +257,9 @@ impl Tensor {
     /// calling thread; hot paths use [`Tensor::apply`] with a named kernel
     /// instead.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        let mut data = pool_mem::take(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
+        Self::from_vec(self.rows, self.cols, data)
     }
 
     /// Applies a named unary kernel elementwise, chunked over the worker
@@ -316,10 +329,11 @@ impl Tensor {
         let (rows, cols) = self.broadcast_shape(other);
         // Fast path: identical shapes.
         if self.shape() == other.shape() {
-            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+            let mut data = pool_mem::take(rows * cols);
+            data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
             return Self::from_vec(rows, cols, data);
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool_mem::take(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(self.broadcast_index(r, c), other.broadcast_index(r, c)));
@@ -381,7 +395,7 @@ impl Tensor {
 
     /// Transpose.
     pub fn transpose(&self) -> Self {
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = pool_mem::take_zeroed(self.data.len());
         for r in 0..self.rows {
             for c in 0..self.cols {
                 data[c * self.rows + r] = self.data[r * self.cols + c];
@@ -443,7 +457,7 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat_cols requires at least one part");
         let rows = parts[0].rows;
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool_mem::take(rows * cols);
         for r in 0..rows {
             for p in parts {
                 assert_eq!(p.rows, rows, "concat_cols: row count mismatch");
@@ -462,7 +476,7 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat_rows requires at least one part");
         let cols = parts[0].cols;
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool_mem::take(rows * cols);
         for p in parts {
             assert_eq!(p.cols, cols, "concat_rows: column count mismatch");
             data.extend_from_slice(&p.data);
@@ -482,7 +496,7 @@ impl Tensor {
             start + width,
             self.cols
         );
-        let mut data = Vec::with_capacity(self.rows * width);
+        let mut data = pool_mem::take(self.rows * width);
         for r in 0..self.rows {
             let base = r * self.cols + start;
             data.extend_from_slice(&self.data[base..base + width]);
@@ -512,7 +526,7 @@ impl Tensor {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Self {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut data = pool_mem::take(indices.len() * self.cols);
         for &i in indices {
             assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
             data.extend_from_slice(self.row_slice(i));

@@ -1,0 +1,224 @@
+//! Fused-kernel contract: `Graph::affine_act` and `Graph::row_norm_eps`
+//! must be *bit-identical* to the unfused primitive chains they replace —
+//! forward, backward, and through the WGAN-GP double-backward path — for
+//! every tested `GTV_THREADS` value. Gradients are additionally checked
+//! against central finite differences.
+
+use gtv_tensor::{pool, FusedAct, Graph, Tensor, Var};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+const ACTS: [FusedAct; 4] =
+    [FusedAct::Relu, FusedAct::Tanh, FusedAct::Sigmoid, FusedAct::LeakyRelu(0.2)];
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The unfused reference: `act(x @ w + b)` from primitives.
+fn unfused_affine(g: &Graph, x: Var, w: Var, b: Var, act: FusedAct) -> Var {
+    let s = g.add(g.matmul(x, w), b);
+    match act {
+        FusedAct::Relu => g.relu(s),
+        FusedAct::Tanh => g.tanh(s),
+        FusedAct::Sigmoid => g.sigmoid(s),
+        FusedAct::LeakyRelu(alpha) => g.leaky_relu(s, alpha),
+    }
+}
+
+/// The unfused reference: `sqrt(Σ_cols x² + eps)` from primitives.
+fn unfused_row_norm(g: &Graph, x: Var, eps: f32) -> Var {
+    let sq = g.square(x);
+    let s = g.sum_cols(sq);
+    let s = g.add_scalar(s, eps);
+    g.sqrt(s)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Fused,
+    Unfused,
+}
+
+/// Forward + gradient + double-backward bits of an `affine_act` tower, in
+/// the gradient-penalty shape: differentiate a row norm of a first-order
+/// input gradient with respect to the weights.
+fn affine_tower_bits(x0: &Tensor, w0: &Tensor, b0: &Tensor, act: FusedAct, mode: Mode) -> Vec<u32> {
+    let g = Graph::new();
+    let x = g.leaf(x0.clone());
+    let w = g.leaf(w0.clone());
+    let b = g.leaf(b0.clone());
+    let h = match mode {
+        Mode::Fused => g.affine_act(x, w, b, act),
+        Mode::Unfused => unfused_affine(&g, x, w, b, act),
+    };
+    let mut out = bits(&g.value(h));
+
+    let y = g.mean_all(g.mul(h, h));
+    let grads = g.grad(y, &[x, w, b]);
+    for &gr in &grads {
+        out.extend(bits(&g.value(gr)));
+    }
+
+    // Double backward, WGAN-GP shaped: ∂/∂w of (‖∂y/∂x‖_rows − 1)².
+    let gx = grads[0];
+    let norm = match mode {
+        Mode::Fused => g.row_norm_eps(gx, 1e-12),
+        Mode::Unfused => unfused_row_norm(&g, gx, 1e-12),
+    };
+    let shifted = g.add_scalar(norm, -1.0);
+    let pen = g.mean_all(g.mul(shifted, shifted));
+    let dw = g.grad(pen, &[w])[0];
+    out.extend(bits(&g.value(dw)));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fused_affine_matches_unfused_bit_for_bit(
+        x0 in tensor_strategy(48, 40),
+        w0 in tensor_strategy(40, 24),
+        b0 in tensor_strategy(1, 24)
+    ) {
+        for act in ACTS {
+            let mut reference: Option<Vec<u32>> = None;
+            for &threads in &THREAD_COUNTS {
+                pool::set_threads(threads);
+                let fused = affine_tower_bits(&x0, &w0, &b0, act, Mode::Fused);
+                let unfused = affine_tower_bits(&x0, &w0, &b0, act, Mode::Unfused);
+                assert_eq!(
+                    fused, unfused,
+                    "fused {act:?} diverged from unfused at {threads} threads"
+                );
+                match &reference {
+                    None => reference = Some(fused),
+                    Some(expected) => assert_eq!(
+                        expected, &fused,
+                        "fused {act:?} not thread-count invariant at {threads} threads"
+                    ),
+                }
+            }
+            pool::set_threads(1);
+        }
+    }
+
+    #[test]
+    fn fused_row_norm_matches_unfused_bit_for_bit(x0 in tensor_strategy(130, 34)) {
+        let mut reference: Option<Vec<u32>> = None;
+        for &threads in &THREAD_COUNTS {
+            pool::set_threads(threads);
+            let run = |fused: bool| {
+                let g = Graph::new();
+                let x = g.leaf(x0.clone());
+                let norm = if fused {
+                    g.row_norm_eps(x, 1e-12)
+                } else {
+                    unfused_row_norm(&g, x, 1e-12)
+                };
+                let y = g.sum_all(norm);
+                let dx = g.grad(y, &[x])[0];
+                let mut out = bits(&g.value(norm));
+                out.extend(bits(&g.value(dx)));
+                out
+            };
+            let fused = run(true);
+            let unfused = run(false);
+            assert_eq!(fused, unfused, "row norm diverged at {threads} threads");
+            match &reference {
+                None => reference = Some(fused),
+                Some(expected) => assert_eq!(expected, &fused, "not invariant at {threads}"),
+            }
+        }
+        pool::set_threads(1);
+    }
+}
+
+/// Central finite-difference check of a scalar-valued builder's gradient.
+fn check_grad(build: impl Fn(&Graph, Var) -> Var, x0: Tensor, tol: f32) {
+    let g = Graph::new();
+    let x = g.leaf(x0.clone());
+    let y = build(&g, x);
+    assert_eq!(g.shape(y), (1, 1), "builder must produce a scalar");
+    let dx = g.grad(y, &[x])[0];
+    let analytic = g.value(dx);
+
+    let eps = 1e-3f32;
+    for i in 0..x0.len() {
+        let eval = |delta: f32| {
+            let mut moved = x0.clone();
+            moved.as_mut_slice()[i] += delta;
+            let gd = Graph::new();
+            let v = gd.leaf(moved);
+            let y = build(&gd, v);
+            gd.value(y).item()
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        assert!(
+            (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+            "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+#[test]
+fn fused_affine_gradients_match_finite_differences() {
+    let w0 = Tensor::from_fn(3, 2, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
+    let b0 = Tensor::row(&[0.05, -0.3]);
+    for act in ACTS {
+        let (w0, b0) = (w0.clone(), b0.clone());
+        check_grad(
+            move |g, x| {
+                let w = g.leaf(w0.clone());
+                let b = g.leaf(b0.clone());
+                let h = g.affine_act(x, w, b, act);
+                g.mean_all(g.mul(h, h))
+            },
+            Tensor::from_fn(4, 3, |r, c| 0.17 * (r as f32) - 0.23 * (c as f32) + 0.4),
+            2e-2,
+        );
+    }
+}
+
+#[test]
+fn fused_row_norm_gradient_matches_finite_differences() {
+    check_grad(
+        |g, x| {
+            let n = g.row_norm_eps(x, 1e-6);
+            g.sum_all(n)
+        },
+        Tensor::from_fn(3, 4, |r, c| 0.3 * (r as f32 + 1.0) + 0.11 * (c as f32) - 0.7),
+        1e-2,
+    );
+}
+
+#[test]
+fn fused_affine_rejects_bad_shapes_and_zero_leaky_slope() {
+    let g = Graph::new();
+    let x = g.leaf(Tensor::zeros(2, 3));
+    let w = g.leaf(Tensor::zeros(3, 2));
+    let b = g.leaf(Tensor::zeros(1, 2));
+    let bad_bias = g.leaf(Tensor::zeros(2, 2));
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        g.affine_act(x, w, bad_bias, FusedAct::Relu)
+    }))
+    .is_err());
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        g.affine_act(x, w, b, FusedAct::LeakyRelu(0.0))
+    }))
+    .is_err());
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        g.affine_act(w, x, b, FusedAct::Relu)
+    }))
+    .is_err());
+    let ok = g.affine_act(x, w, b, FusedAct::LeakyRelu(0.2));
+    assert_eq!(g.shape(ok), (2, 2));
+}

@@ -214,9 +214,15 @@ impl Message {
 fn put_matrix(buf: &mut BytesMut, m: &MatrixPayload) {
     buf.put_u32_le(m.rows);
     buf.put_u32_le(m.cols);
-    for &v in &m.data {
-        buf.put_f32_le(v);
+    // Bulk body write: serialize every value into one scratch buffer and
+    // append it with a single `put_slice` instead of one reservation check
+    // per element. The wire format stays explicitly little-endian
+    // (`to_le_bytes`), so the encoding is identical on any host.
+    let mut body = vec![0u8; m.data.len() * 4];
+    for (chunk, &v) in body.chunks_exact_mut(4).zip(&m.data) {
+        chunk.copy_from_slice(&v.to_le_bytes());
     }
+    buf.put_slice(&body);
 }
 
 fn get_matrix(bytes: &mut Bytes) -> Result<MatrixPayload, DecodeMessageError> {
@@ -229,7 +235,14 @@ fn get_matrix(bytes: &mut Bytes) -> Result<MatrixPayload, DecodeMessageError> {
     if bytes.remaining() < n * 4 {
         return Err(err("truncated matrix body"));
     }
-    let data = (0..n).map(|_| bytes.get_f32_le()).collect();
+    // Bulk body read: parse the contiguous little-endian body in one pass
+    // over the underlying slice, then advance the cursor once.
+    let mut data = Vec::with_capacity(n);
+    data.extend(bytes.chunk()[..n * 4].chunks_exact(4).map(|c| {
+        // gtv-lint: allow(panic) -- chunks_exact(4) yields exactly 4 bytes
+        f32::from_le_bytes(c.try_into().expect("4-byte chunk"))
+    }));
+    bytes.advance(n * 4);
     Ok(MatrixPayload { rows, cols, data })
 }
 

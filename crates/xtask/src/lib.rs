@@ -698,9 +698,29 @@ fn lint_determinism(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &m
     // The pool owns the workspace's data parallelism: its fixed, problem-
     // size-only partitioning is what keeps results thread-count-invariant.
     let is_pool = rel_str == "crates/tensor/src/pool.rs";
+    // The tensor kernels are the training hot loop: every buffer must come
+    // from the recycling pool (pool_mem), not the allocator, so the
+    // step-scoped memory accounting of DESIGN.md §9 stays exact.
+    let is_kernels = rel_str == "crates/tensor/src/kernels.rs";
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
+        }
+        if is_kernels {
+            for token in ["Vec::with_capacity", "vec![0.0"] {
+                if line.code.contains(token)
+                    && !suppressed(lines, idx, Rule::Determinism, rel, findings)
+                {
+                    findings.push(Finding {
+                        file: rel.to_path_buf(),
+                        line: idx + 1,
+                        rule: Rule::Determinism,
+                        message: format!(
+                            "`{token}` allocates in the kernel hot path; take the buffer from `pool_mem::take`/`take_zeroed` (or `// gtv-lint: allow(determinism) -- why`)"
+                        ),
+                    });
+                }
+            }
         }
         for token in L2_TOKENS {
             if has_token(&line.code, token)

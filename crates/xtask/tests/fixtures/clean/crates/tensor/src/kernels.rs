@@ -1,0 +1,27 @@
+//! Fixture: a kernel hot path that draws every buffer from the pool.
+
+mod pool_mem {
+    pub fn take(len: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        out.reserve(len);
+        out
+    }
+
+    pub fn take_zeroed(len: usize) -> Vec<f32> {
+        let mut out = take(len);
+        out.resize(len, 0.0);
+        out
+    }
+}
+
+pub fn stitch(parts: &[Vec<f32>], len: usize) -> Vec<f32> {
+    let mut out = pool_mem::take(len);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+pub fn accumulate(cols: usize) -> Vec<f32> {
+    pool_mem::take_zeroed(cols)
+}

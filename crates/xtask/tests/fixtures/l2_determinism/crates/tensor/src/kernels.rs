@@ -1,0 +1,34 @@
+//! Fixture: raw allocator calls in the tensor kernel hot path.
+
+pub fn stitch(parts: &[Vec<f32>], len: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+pub fn accumulate(cols: usize) -> Vec<f32> {
+    vec![0.0f32; cols]
+}
+
+pub fn cold_scratch(len: usize) -> Vec<f32> {
+    // gtv-lint: allow(determinism) -- cold path, runs once at pool construction
+    let mut out = Vec::with_capacity(len);
+    out.resize(len, 1.0);
+    out
+}
+
+pub fn describe() -> &'static str {
+    "kernels must not call Vec::with_capacity or vec![0.0; n] directly"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_in_tests_is_fine() {
+        let mut v = Vec::with_capacity(4);
+        v.extend_from_slice(&[0.0f32; 4]);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -34,6 +34,7 @@ fn l2_flags_ambient_randomness_and_clocks_but_not_bench_or_tests() {
         findings.iter().all(|f| {
             f.file == Path::new("crates/nn/src/layers.rs")
                 || f.file == Path::new("crates/vfl/src/worker.rs")
+                || f.file == Path::new("crates/tensor/src/kernels.rs")
         }),
         "crates/bench and the sanctioned pool must be exempt: {findings:?}"
     );
@@ -57,6 +58,23 @@ fn l2_flags_ambient_randomness_and_clocks_but_not_bench_or_tests() {
             .iter()
             .filter(|f| f.file == Path::new("crates/vfl/src/worker.rs"))
             .all(|f| f.message.contains("deterministic worker pool")),
+        "{findings:?}"
+    );
+    // Raw allocator calls in the tensor kernel hot path: Vec::with_capacity
+    // and vec![0.0; n]. The escape-hatched cold-path alloc and the
+    // #[cfg(test)] scratch buffer stay quiet, as does the string literal
+    // mentioning both tokens.
+    let kernels: Vec<usize> = findings
+        .iter()
+        .filter(|f| f.file == Path::new("crates/tensor/src/kernels.rs"))
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(kernels, vec![4, 12], "{findings:?}");
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.file == Path::new("crates/tensor/src/kernels.rs"))
+            .all(|f| f.message.contains("pool_mem::take")),
         "{findings:?}"
     );
 }

@@ -32,4 +32,15 @@ step "tensor benchmark (BENCH_tensor.json)"
 cargo build -q --release -p gtv-bench --bin bench_tensor
 GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_tensor target/BENCH_tensor.json
 
+step "training-step benchmark (BENCH_step.json)"
+# Centralized and 2-client VFL training rounds with buffer recycling on and
+# off: steps/s, allocator misses per step and the pool hit rate
+# (DESIGN.md §9).
+cargo build -q --release -p gtv-bench --bin bench_step
+GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_step target/BENCH_step.json
+
+# Publish the benchmark artifacts at the repo root.
+cp target/BENCH_tensor.json BENCH_tensor.json
+cp target/BENCH_step.json BENCH_step.json
+
 printf '\nci: all gates passed\n'
