@@ -1,0 +1,127 @@
+//! Communication benchmark for the pipelined round engine and the sparse
+//! wire codec (DESIGN.md §10).
+//!
+//! Sweeps {lockstep, pipelined} × {dense, sparse} × parties ∈ {2, 3, 5} and
+//! emits `BENCH_comms.json` (path overridable as the first CLI argument)
+//! with per-round bytes, messages and wall time for every cell, plus two
+//! derived ratios per cell: bytes relative to the same schedule's dense run
+//! (`bytes_ratio_vs_dense`, < 1 shows the sparse win) and wall time
+//! relative to the same codec's lockstep run (`speedup_vs_lockstep`).
+//!
+//! Byte counts come from the trainer's own `NetStats` round windows —
+//! warm-up rounds are excluded via `reset_stats`, so only the measured
+//! rounds are averaged. `GTV_BENCH_REPS` controls how many measured rounds
+//! are timed (default 3; the minimum seconds/round over reps is reported,
+//! byte counts are identical every round modulo sampled conditions, so
+//! they are averaged over all measured rounds).
+
+use gtv::{GtvConfig, GtvTrainer};
+use gtv_data::Dataset;
+use std::time::Instant;
+
+const ROWS: usize = 128;
+const WARMUP_ROUNDS: usize = 1;
+const PARTY_COUNTS: [usize; 3] = [2, 3, 5];
+
+fn config(pipelined: bool, sparse: bool) -> GtvConfig {
+    GtvConfig { threads: 1, pipelined_rounds: pipelined, sparse_wire: sparse, ..GtvConfig::smoke() }
+}
+
+struct Measurement {
+    bytes_per_round: f64,
+    messages_per_round: f64,
+    seconds_per_round: f64,
+}
+
+fn measure(trainer: &mut GtvTrainer, reps: usize) -> Measurement {
+    for _ in 0..WARMUP_ROUNDS {
+        trainer.train_round().expect("in-process transport");
+    }
+    // Drop warm-up traffic so the averages cover only measured rounds.
+    trainer.network().reset_stats();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        trainer.train_round().expect("in-process transport");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let stats = trainer.network_stats();
+    let rounds = stats.rounds.len().max(1) as f64;
+    let bytes: u64 = stats.rounds.iter().map(|r| r.bytes).sum();
+    let messages: u64 = stats.rounds.iter().map(|r| r.messages).sum();
+    Measurement {
+        bytes_per_round: bytes as f64 / rounds,
+        messages_per_round: messages as f64 / rounds,
+        seconds_per_round: best,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_comms.json".to_string());
+    let reps = std::env::var("GTV_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    eprintln!("bench_comms: {ROWS} rows, parties {PARTY_COUNTS:?}, {reps} measured rounds");
+
+    let table = Dataset::Loan.generate(ROWS, 0);
+    let n_cols = table.n_cols();
+
+    let mut entries = Vec::new();
+    for &parties in &PARTY_COUNTS {
+        let per = n_cols / parties;
+        let groups: Vec<Vec<usize>> = (0..parties)
+            .map(|p| {
+                let end = if p + 1 == parties { n_cols } else { (p + 1) * per };
+                (p * per..end).collect()
+            })
+            .collect();
+        // (schedule, codec) → measurement, for the derived ratios.
+        let mut cells: Vec<(bool, bool, Measurement)> = Vec::with_capacity(4);
+        for pipelined in [false, true] {
+            for sparse in [false, true] {
+                let shards = table.vertical_split(&groups);
+                let mut trainer = GtvTrainer::new(shards, config(pipelined, sparse));
+                cells.push((pipelined, sparse, measure(&mut trainer, reps)));
+            }
+        }
+        for (pipelined, sparse, m) in &cells {
+            let dense_bytes = cells
+                .iter()
+                .find(|(p, s, _)| p == pipelined && !s)
+                .map_or(f64::NAN, |(_, _, d)| d.bytes_per_round);
+            let lockstep_secs = cells
+                .iter()
+                .find(|(p, s, _)| !p && s == sparse)
+                .map_or(f64::NAN, |(_, _, l)| l.seconds_per_round);
+            let schedule = if *pipelined { "pipelined" } else { "lockstep" };
+            let codec = if *sparse { "sparse" } else { "dense" };
+            eprintln!(
+                "  parties={parties} {schedule:<9} {codec:<6} {:>12.0} B/round  {:>5.0} msgs/round  {:.4} s/round",
+                m.bytes_per_round, m.messages_per_round, m.seconds_per_round
+            );
+            entries.push(format!(
+                "{{\"parties\":{parties},\"schedule\":\"{schedule}\",\"codec\":\"{codec}\",\
+                 \"bytes_per_round\":{},\"messages_per_round\":{},\"seconds_per_round\":{},\
+                 \"bytes_ratio_vs_dense\":{},\"speedup_vs_lockstep\":{}}}",
+                json_f(m.bytes_per_round),
+                json_f(m.messages_per_round),
+                json_f(m.seconds_per_round),
+                json_f(m.bytes_per_round / dense_bytes),
+                json_f(lockstep_secs / m.seconds_per_round)
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\"rows\":{ROWS},\"reps\":{reps},\"warmup_rounds\":{WARMUP_ROUNDS},\"cells\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("writing the benchmark report");
+    println!("wrote {out_path}");
+}

@@ -27,6 +27,7 @@ USAGE:
   gtv-cli synth    --input FILE [--target COL] [--clients N] [--rounds R] [--batch B]
                    [--width W] [--partition d2g0|d2g2] [--seed S] [--threads T] --out FILE
                    [--save-weights FILE] [--load-weights FILE] [--alloc-stats true]
+                   [--pipelined true|false] [--sparse-wire true] [--comms-stats true]
   gtv-cli evaluate --real FILE --synth FILE --target COL [--seed S]
   gtv-cli privacy  --input FILE [--rounds R] [--clients N]
 ";
@@ -91,6 +92,8 @@ fn build_config(args: &Args) -> Result<GtvConfig, String> {
         seed: args.parsed_or("seed", 0u64).map_err(|e| e.to_string())?,
         threads: args.parsed_or("threads", 0usize).map_err(|e| e.to_string())?,
         alloc_stats: args.parsed_or("alloc-stats", false).map_err(|e| e.to_string())?,
+        pipelined_rounds: args.parsed_or("pipelined", true).map_err(|e| e.to_string())?,
+        sparse_wire: args.parsed_or("sparse-wire", false).map_err(|e| e.to_string())?,
         ..GtvConfig::default()
     })
 }
@@ -125,11 +128,61 @@ fn print_alloc_stats(stats: &[gtv::StepAllocStats]) {
     );
 }
 
+/// Prints the per-round, per-party traffic windows recorded during training
+/// (`--comms-stats true`): round totals for the first few measured rounds,
+/// then per-party averages over all of them (DESIGN.md §10).
+fn print_comms_stats(stats: &gtv_vfl::NetStats, n_clients: usize) {
+    use gtv_vfl::PartyId;
+    if stats.rounds.is_empty() {
+        println!("comms stats: no rounds recorded");
+        return;
+    }
+    let shown = stats.rounds.len().min(8);
+    println!("comms stats ({} measured rounds, warm-up excluded):", stats.rounds.len());
+    for r in &stats.rounds[..shown] {
+        print!("  round {:>4}: {} msgs / {} B |", r.round, r.messages, r.bytes);
+        let (sm, sb) = r.sent_by(PartyId::Server);
+        print!(" server sent {sm}/{sb} B |");
+        for i in 0..n_clients {
+            let (cm, cb) = r.sent_by(PartyId::Client(i));
+            print!(" client{i} sent {cm}/{cb} B |");
+        }
+        println!();
+    }
+    if stats.rounds.len() > shown {
+        println!("  … {} more rounds", stats.rounds.len() - shown);
+    }
+    let rounds = stats.rounds.len() as f64;
+    let mut parties = vec![PartyId::Server];
+    parties.extend((0..n_clients).map(PartyId::Client));
+    println!("  per-round averages:");
+    for p in parties {
+        let (sm, sb) = stats
+            .rounds
+            .iter()
+            .map(|r| r.sent_by(p))
+            .fold((0u64, 0u64), |(m, b), (dm, db)| (m + dm, b + db));
+        let (rm, rb) = stats
+            .rounds
+            .iter()
+            .map(|r| r.received_by(p))
+            .fold((0u64, 0u64), |(m, b), (dm, db)| (m + dm, b + db));
+        println!(
+            "    {p}: sent {:.1} msgs / {:.0} B, received {:.1} msgs / {:.0} B",
+            sm as f64 / rounds,
+            sb as f64 / rounds,
+            rm as f64 / rounds,
+            rb as f64 / rounds
+        );
+    }
+}
+
 fn synth(args: &Args) -> Result<(), String> {
     let input = args.required("input").map_err(|e| e.to_string())?;
     let out = args.required("out").map_err(|e| e.to_string())?;
     let table = load_table(input, args.optional("target"))?;
     let n_clients = args.parsed_or("clients", 2usize).map_err(|e| e.to_string())?;
+    let comms_stats = args.parsed_or("comms-stats", false).map_err(|e| e.to_string())?;
     let config = build_config(args)?;
     let groups = PartitionPlan::Even { n_clients }.column_groups(table.n_cols(), None, None);
     let shards = table.vertical_split(&groups);
@@ -147,9 +200,22 @@ fn synth(args: &Args) -> Result<(), String> {
         trainer.load_weights(&dict).map_err(|e| e.to_string())?;
         println!("loaded weights from {path} — skipping training");
     } else {
-        trainer.train().map_err(|e| e.to_string())?;
+        if comms_stats && trainer.config().rounds > 1 {
+            // One warm-up round, then reset the counters so the per-round
+            // report covers only steady-state rounds.
+            trainer.train_round().map_err(|e| e.to_string())?;
+            trainer.network().reset_stats();
+            for _ in 1..trainer.config().rounds {
+                trainer.train_round().map_err(|e| e.to_string())?;
+            }
+        } else {
+            trainer.train().map_err(|e| e.to_string())?;
+        }
         if trainer.config().alloc_stats {
             print_alloc_stats(trainer.alloc_stats());
+        }
+        if comms_stats {
+            print_comms_stats(&trainer.network_stats(), n_clients);
         }
     }
     if let Some(path) = args.optional("save-weights") {
@@ -255,7 +321,7 @@ mod tests {
         run(&argv).unwrap();
         let argv: Vec<String> = format!(
             "synth --input {} --target personal_loan --rounds 2 --batch 16 --width 32 \
-             --alloc-stats true --out {}",
+             --alloc-stats true --sparse-wire true --comms-stats true --out {}",
             demo_path.display(),
             synth_path.display()
         )

@@ -12,7 +12,7 @@
 use crate::config::{GtvConfig, NetPartition};
 use crate::trainer::{GtvTrainer, TrainHistory};
 use gtv_data::Table;
-use gtv_vfl::TransportError;
+use gtv_vfl::{NetStats, TransportError};
 
 /// Centralized baseline trainer.
 #[derive(Debug)]
@@ -70,6 +70,13 @@ impl CentralizedTrainer {
     /// [`GtvConfig::alloc_stats`] is on).
     pub fn alloc_stats(&self) -> &[crate::StepAllocStats] {
         self.inner.alloc_stats()
+    }
+
+    /// Traffic counters of the degenerate single-client simulation,
+    /// including the per-round windows opened by each training round —
+    /// the baseline column of the communication-overhead comparison.
+    pub fn network_stats(&self) -> NetStats {
+        self.inner.network_stats()
     }
 }
 

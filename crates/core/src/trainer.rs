@@ -19,7 +19,7 @@ use gtv_nn::{Adam, Ctx};
 use gtv_tensor::{Graph, Tensor, Var};
 use gtv_vfl::{
     negotiate_seed, MatrixPayload, Message, NetStats, Network, PartyId, SharedShuffler,
-    TransportError,
+    TransportError, WireCodec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -193,6 +193,9 @@ impl GtvTrainer {
         let d_opt = Adam::new(gtv_nn::Module::params(&discriminator), config.adam);
 
         let network = Network::new(n_clients);
+        if config.sparse_wire {
+            network.set_codec(WireCodec::Adaptive);
+        }
         // Clients negotiate the shared shuffle seed peer-to-peer; the server
         // never observes it (§3.1.5).
         let seeds = negotiate_seed(&network, n_clients, config.seed.wrapping_add(7))
@@ -302,9 +305,63 @@ impl GtvTrainer {
         self.shuffling_enabled = enabled;
     }
 
+    /// Sends one message and pops it at the recipient, checking the popped
+    /// variant matches what was sent — a stray message in the inbox surfaces
+    /// as [`TransportError::ProtocolViolation`] instead of being consumed as
+    /// an ack.
     fn route(&self, from: PartyId, to: PartyId, msg: Message) -> Result<Message, TransportError> {
+        let expected = msg.kind();
         self.network.send(from, to, msg)?;
-        Ok(self.network.recv(to)?.1)
+        Ok(self.network.recv_expect(to, expected)?.1)
+    }
+
+    /// One server→clients fan-out phase (DESIGN.md §10). Pipelined: every
+    /// message is sent first (payloads encode concurrently on the tensor
+    /// worker pool), then each recipient pops its delivery in message order.
+    /// Lockstep: each message waits for its delivery before the next send.
+    /// Both schedules move the same bytes over the same links in the same
+    /// per-party order, so they are observation- and training-identical.
+    fn dispatch(&self, msgs: Vec<(PartyId, PartyId, Message)>) -> Result<(), TransportError> {
+        if self.config.pipelined_rounds {
+            let expects: Vec<(PartyId, &'static str)> =
+                msgs.iter().map(|&(_, to, ref m)| (to, m.kind())).collect();
+            self.network.send_all(msgs)?;
+            for (to, expected) in expects {
+                let _ = self.network.recv_expect(to, expected)?;
+            }
+        } else {
+            for (from, to, msg) in msgs {
+                let expected = msg.kind();
+                self.network.send(from, to, msg)?;
+                let _ = self.network.recv_expect(to, expected)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One clients→server fan-in phase (DESIGN.md §10). Pipelined: every
+    /// upload is sent first, then the receiver gathers the replies in fixed
+    /// sender order regardless of arrival order. Lockstep: each upload is
+    /// consumed before the next client sends. Same observation-identity
+    /// argument as [`GtvTrainer::dispatch`].
+    fn fan_in(
+        &self,
+        msgs: Vec<(PartyId, PartyId, Message)>,
+        expected: &'static str,
+    ) -> Result<Vec<Message>, TransportError> {
+        if self.config.pipelined_rounds {
+            let senders: Vec<PartyId> = msgs.iter().map(|&(from, _, _)| from).collect();
+            let at = msgs.first().map_or(PartyId::Server, |&(_, to, _)| to);
+            self.network.send_all(msgs)?;
+            self.network.gather(at, &senders, expected)
+        } else {
+            let mut out = Vec::with_capacity(msgs.len());
+            for (from, to, msg) in msgs {
+                self.network.send(from, to, msg)?;
+                out.push(self.network.recv_expect(to, expected)?.1);
+            }
+            Ok(out)
+        }
     }
 
     /// Server-side selection of the CV-constructing client `p ~ P_r` among
@@ -333,14 +390,17 @@ impl GtvTrainer {
             return Ok(None);
         };
         // Server notifies every client of the round and the selected
-        // constructor.
-        for i in 0..self.clients.len() {
-            let _ = self.route(
-                PartyId::Server,
-                PartyId::Client(i),
-                Message::RoundStart { round: self.step, selected: p as u32 },
-            )?;
-        }
+        // constructor (one fan-out phase).
+        let round_start: Vec<(PartyId, PartyId, Message)> = (0..self.clients.len())
+            .map(|i| {
+                (
+                    PartyId::Server,
+                    PartyId::Client(i),
+                    Message::RoundStart { round: self.step, selected: p as u32 },
+                )
+            })
+            .collect();
+        self.dispatch(round_start)?;
         let batch = self.config.batch;
         let client = &mut self.clients[p];
         let sampler = client
@@ -450,31 +510,41 @@ impl GtvTrainer {
         };
         let g_in = g.leaf(g_in);
         let slices = self.generator.top_forward(ctx, g_in);
+        // Phase 1: the server fans out every client's `G^t` slice before any
+        // client replies (DESIGN.md §10).
+        let gen_slices: Vec<(PartyId, PartyId, Message)> = (0..self.clients.len())
+            .map(|i| {
+                (
+                    PartyId::Server,
+                    PartyId::Client(i),
+                    Message::GenSlice(payload_of(&g.value(slices[i]))),
+                )
+            })
+            .collect();
+        self.dispatch(gen_slices)?;
+        // Phase 2: clients run `G_i^b` and `D_i^b` in fixed party order and
+        // upload their logits; the server consumes the uploads in that same
+        // order.
         let mut head_logits = Vec::with_capacity(self.clients.len());
         let mut activations = Vec::with_capacity(self.clients.len());
         let mut d_logits = Vec::with_capacity(self.clients.len());
+        let mut uploads: Vec<(PartyId, PartyId, Message)> = Vec::with_capacity(self.clients.len());
         #[allow(clippy::needless_range_loop)] // i is the client/protocol id
         for i in 0..self.clients.len() {
-            self.network.send(
-                PartyId::Server,
-                PartyId::Client(i),
-                Message::GenSlice(payload_of(&g.value(slices[i]))),
-            )?;
-            let _ = self.network.recv(PartyId::Client(i))?;
             let (logits, act) = self.generator.client_forward(ctx, i, slices[i]);
             let act_for_d = if detach_for_d { g.detach(act) } else { act };
             let dl = self.discriminator.client_forward(ctx, i, act_for_d);
             let dl = self.apply_dp_noise(g, dl);
-            self.network.send(
+            uploads.push((
                 PartyId::Client(i),
                 PartyId::Server,
                 Message::SynthLogits(payload_of(&g.value(dl))),
-            )?;
-            let _ = self.network.recv(PartyId::Server)?;
+            ));
             head_logits.push(logits);
             activations.push(act_for_d);
             d_logits.push(dl);
         }
+        let _ = self.fan_in(uploads, "SynthLogits")?;
         Ok((slices, head_logits, activations, d_logits))
     }
 
@@ -510,6 +580,7 @@ impl GtvTrainer {
         };
         let mut real_rows: Vec<Tensor> = Vec::with_capacity(self.clients.len());
         let mut real_logits: Vec<Var> = Vec::with_capacity(self.clients.len());
+        let mut uploads: Vec<(PartyId, PartyId, Message)> = Vec::with_capacity(self.clients.len());
         for i in 0..self.clients.len() {
             let selected_rows = self.clients[i].encoded.select_rows(&indices);
             let is_p = cond.as_ref().is_none_or(|c| c.p == i);
@@ -525,27 +596,26 @@ impl GtvTrainer {
                 let full = g.leaf(self.clients[i].encoded.clone());
                 let logits_full = self.discriminator.client_forward(&ctx, i, full);
                 let logits_full = self.apply_dp_noise(&g, logits_full);
-                self.network.send(
+                uploads.push((
                     PartyId::Client(i),
                     PartyId::Server,
                     Message::RealLogits(payload_of(&g.value(logits_full))),
-                )?;
-                let _ = self.network.recv(PartyId::Server)?;
+                ));
                 real_logits.push(g.select_rows(logits_full, &indices));
             } else {
                 let leaf = g.leaf(selected_rows.clone());
                 let logits = self.discriminator.client_forward(&ctx, i, leaf);
                 let logits = self.apply_dp_noise(&g, logits);
-                self.network.send(
+                uploads.push((
                     PartyId::Client(i),
                     PartyId::Server,
                     Message::RealLogits(payload_of(&g.value(logits))),
-                )?;
-                let _ = self.network.recv(PartyId::Server)?;
+                ));
                 real_logits.push(logits);
             }
             real_rows.push(selected_rows);
         }
+        let _ = self.fan_in(uploads, "RealLogits")?;
         let cv_real = cv_t.as_ref().map(|t| g.leaf(t.clone()));
         let y_real = self.discriminator.server_forward(&ctx, &real_logits, cv_real);
 
@@ -586,15 +656,18 @@ impl GtvTrainer {
         let mut extras = synth_logits.clone();
         extras.extend(real_logits.iter().copied());
         let boundary_grads = ctx.binder().backprop_with_extras(&g, d_loss, &extras);
-        for (i, gv) in boundary_grads.iter().enumerate() {
-            let client = i % self.clients.len();
-            self.network.send(
-                PartyId::Server,
-                PartyId::Client(client),
-                Message::GradLogits(payload_of(&g.value(*gv))),
-            )?;
-            let _ = self.network.recv(PartyId::Client(client))?;
-        }
+        let grad_msgs: Vec<(PartyId, PartyId, Message)> = boundary_grads
+            .iter()
+            .enumerate()
+            .map(|(i, gv)| {
+                (
+                    PartyId::Server,
+                    PartyId::Client(i % self.clients.len()),
+                    Message::GradLogits(payload_of(&g.value(*gv))),
+                )
+            })
+            .collect();
+        self.dispatch(grad_msgs)?;
         self.d_opt.step();
         self.history.d_loss.push(g.value(d_loss).item());
         self.finish_step(&g);
@@ -643,14 +716,18 @@ impl GtvTrainer {
         self.g_opt.zero_grad();
         self.d_opt.zero_grad();
         let boundary_grads = ctx.binder().backprop_with_extras(&g, g_loss, &slices);
-        for (i, gv) in boundary_grads.iter().enumerate() {
-            self.network.send(
-                PartyId::Server,
-                PartyId::Client(i),
-                Message::GradGenSlice(payload_of(&g.value(*gv))),
-            )?;
-            let _ = self.network.recv(PartyId::Client(i))?;
-        }
+        let grad_msgs: Vec<(PartyId, PartyId, Message)> = boundary_grads
+            .iter()
+            .enumerate()
+            .map(|(i, gv)| {
+                (
+                    PartyId::Server,
+                    PartyId::Client(i),
+                    Message::GradGenSlice(payload_of(&g.value(*gv))),
+                )
+            })
+            .collect();
+        self.dispatch(grad_msgs)?;
         self.g_opt.step();
         self.history.g_loss.push(g.value(g_loss).item());
         self.finish_step(&g);
@@ -682,6 +759,7 @@ impl GtvTrainer {
     /// Returns the first [`TransportError`] hit by any protocol exchange
     /// (e.g. a dropped message under fault injection).
     pub fn train_round(&mut self) -> Result<(), TransportError> {
+        self.network.begin_round(self.round);
         for _ in 0..self.config.d_steps {
             self.d_step()?;
         }
@@ -741,18 +819,20 @@ impl GtvTrainer {
         // Publication shuffle: shared among clients, unknown to the server.
         let perm = self.shuffler.permutation(n, u64::MAX ^ seed);
         let mut shares = Vec::with_capacity(self.clients.len());
+        let mut publications: Vec<(PartyId, PartyId, Message)> =
+            Vec::with_capacity(self.clients.len());
         for (i, chunks) in per_client.iter().enumerate() {
             let refs: Vec<&Tensor> = chunks.iter().collect();
             let matrix = Tensor::concat_rows(&refs).select_rows(&perm);
             let share = self.clients[i].transformer.decode(&matrix);
-            self.network.send(
+            publications.push((
                 PartyId::Client(i),
                 PartyId::Public,
                 Message::SyntheticShare(payload_of(&matrix)),
-            )?;
-            let _ = self.network.recv(PartyId::Public)?;
+            ));
             shares.push(share);
         }
+        self.dispatch(publications)?;
         Ok(shares)
     }
 
@@ -1002,6 +1082,76 @@ mod tests {
             GtvConfig { partition: crate::NetPartition::d2g2(), ..GtvConfig::smoke() },
         );
         assert!(b.load_weights(&dict).is_err());
+    }
+
+    #[test]
+    fn stray_inbox_message_surfaces_as_protocol_violation() {
+        // Regression: acks used to be consumed blind (`let _ = recv(..)`),
+        // so a desynchronized peer's stray message silently vanished. It
+        // must now fail the protocol step that noticed it.
+        let shards = two_client_shards(60);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        trainer
+            .network()
+            .send(PartyId::Client(1), PartyId::Client(0), Message::ShuffleSeedShare { share: 99 })
+            .unwrap();
+        let err = trainer.train_round().unwrap_err();
+        match err {
+            TransportError::ProtocolViolation { expected, got, .. } => {
+                assert_eq!(expected, "RoundStart");
+                assert_eq!(got, Message::ShuffleSeedShare { share: 99 });
+            }
+            other => panic!("expected ProtocolViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lockstep_and_pipelined_schedules_are_bit_identical() {
+        let shards = two_client_shards(60);
+        let lockstep_cfg = GtvConfig { pipelined_rounds: false, ..GtvConfig::smoke() };
+        let mut lockstep = GtvTrainer::new(shards.clone(), lockstep_cfg);
+        let mut pipelined = GtvTrainer::new(shards, GtvConfig::smoke());
+        lockstep.train_round().unwrap();
+        pipelined.train_round().unwrap();
+        assert_eq!(lockstep.history().d_loss, pipelined.history().d_loss);
+        assert_eq!(lockstep.history().g_loss, pipelined.history().g_loss);
+        assert_eq!(lockstep.save_weights(), pipelined.save_weights());
+        // Same messages, same links, same bytes — only batching differs.
+        assert_eq!(lockstep.network_stats(), pipelined.network_stats());
+    }
+
+    #[test]
+    fn sparse_wire_shrinks_traffic_without_changing_training() {
+        let shards = two_client_shards(80);
+        let mut dense = GtvTrainer::new(shards.clone(), GtvConfig::smoke());
+        dense.train_round().unwrap();
+        let sparse_cfg = GtvConfig { sparse_wire: true, ..GtvConfig::smoke() };
+        let mut sparse = GtvTrainer::new(shards, sparse_cfg);
+        sparse.train_round().unwrap();
+        // Decoding is bit-exact, so the trained state cannot differ.
+        assert_eq!(dense.history().d_loss, sparse.history().d_loss);
+        assert_eq!(dense.save_weights(), sparse.save_weights());
+        // The one-hot CV uploads alone guarantee a strict byte win.
+        assert!(sparse.network_stats().bytes < dense.network_stats().bytes);
+    }
+
+    #[test]
+    fn per_round_windows_cover_all_training_traffic() {
+        let shards = two_client_shards(60);
+        let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+        let pre_round = trainer.network_stats().bytes;
+        trainer.train_round().unwrap();
+        trainer.train_round().unwrap();
+        let stats = trainer.network_stats();
+        assert_eq!(stats.rounds.len(), 2);
+        assert_eq!(stats.rounds[0].round, 0);
+        assert_eq!(stats.rounds[1].round, 1);
+        let windowed: u64 = stats.rounds.iter().map(|r| r.bytes).sum();
+        // Everything after construction-time seed negotiation is in-round.
+        assert_eq!(windowed + pre_round, stats.bytes);
+        // The server both sends and receives inside a round.
+        assert!(stats.rounds[0].sent_by(PartyId::Server).1 > 0);
+        assert!(stats.rounds[0].received_by(PartyId::Server).1 > 0);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Bit-identity of the pipelined round engine (DESIGN.md §10).
+//!
+//! The pipelined schedule only changes *when* messages move (fan-out first,
+//! fan-in in fixed party order), never what any party computes or in which
+//! order RNG draws happen — so trained weights and synthetic output must be
+//! **byte-identical** to the lockstep schedule for every worker-pool size,
+//! party count and wire codec. Each run covers ≥2 full rounds, so every
+//! exchange type is exercised, including the WGAN-GP gradient-penalty
+//! double-backward inside `d_step`.
+//!
+//! Worker-pool size is process-global state, so the whole sweep runs inside
+//! one test (Rust's harness runs separate tests concurrently).
+
+use gtv::{GtvConfig, GtvTrainer};
+use gtv_data::{Dataset, Table};
+use gtv_tensor::pool;
+
+fn shards(parties: usize, rows: usize) -> Vec<Table> {
+    let t = Dataset::Loan.generate(rows, 0);
+    let n = t.n_cols();
+    let per = n / parties;
+    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(parties);
+    for p in 0..parties {
+        let end = if p + 1 == parties { n } else { (p + 1) * per };
+        groups.push((p * per..end).collect());
+    }
+    t.vertical_split(&groups)
+}
+
+fn config(pipelined: bool, sparse: bool) -> GtvConfig {
+    GtvConfig {
+        rounds: 2,
+        d_steps: 1,
+        batch: 16,
+        block_width: 32,
+        embedding_dim: 8,
+        pipelined_rounds: pipelined,
+        sparse_wire: sparse,
+        // Explicit thread counts are set through pool::set_threads below;
+        // keep the config's own request at "auto" so it does not fight the
+        // sweep (GtvTrainer::new re-resolves it, so we re-set after).
+        threads: 0,
+        ..GtvConfig::default()
+    }
+}
+
+/// Trains 2 rounds and synthesizes; returns (weight bytes, synthetic table).
+fn run(parties: usize, pipelined: bool, sparse: bool, threads: usize) -> (Vec<u8>, Table) {
+    let mut trainer = GtvTrainer::new(shards(parties, 48), config(pipelined, sparse));
+    pool::set_threads(threads);
+    trainer.train().expect("transport is healthy");
+    let synth = trainer.synthesize(20, 7).expect("transport is healthy");
+    (trainer.save_weights().to_bytes(), synth)
+}
+
+#[test]
+fn pipelined_is_bit_identical_to_lockstep_for_all_thread_and_party_counts() {
+    for &parties in &[2usize, 3] {
+        // Single-threaded lockstep is the semantic reference.
+        let (ref_weights, ref_synth) = run(parties, false, false, 1);
+        for &threads in &[1usize, 2, 8] {
+            let (w, s) = run(parties, true, false, threads);
+            assert_eq!(
+                w, ref_weights,
+                "pipelined weights diverged (parties={parties}, threads={threads})"
+            );
+            assert_eq!(
+                s, ref_synth,
+                "pipelined synthesis diverged (parties={parties}, threads={threads})"
+            );
+        }
+        // The sparse codec changes bytes on the wire, never decoded values:
+        // the trained state must stay byte-identical too.
+        let (w, s) = run(parties, true, true, 8);
+        assert_eq!(w, ref_weights, "sparse wire changed weights (parties={parties})");
+        assert_eq!(s, ref_synth, "sparse wire changed synthesis (parties={parties})");
+    }
+    pool::set_threads(1);
+}

@@ -173,6 +173,21 @@ where
     slots.into_iter().enumerate().map(|(i, slot)| slot.unwrap_or_else(|| task(i))).collect()
 }
 
+/// Public ordered fan-out: runs `task(i)` for every `i in 0..n` on the
+/// pool and returns the results **in index order**, independent of worker
+/// count and completion order (the same contract the tensor kernels rely
+/// on). This is the sanctioned entry point for non-kernel subsystems —
+/// e.g. the VFL transport's parallel message encoding — whose work items
+/// are already independent. With one worker everything runs inline on the
+/// calling thread; panics inside a task propagate to the caller.
+pub fn run_ordered<R, F>(n: usize, task: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(usize) -> R + Send + Sync + 'static,
+{
+    run_chunks(n, task)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

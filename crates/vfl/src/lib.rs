@@ -38,5 +38,5 @@ mod wire;
 pub use partition::{ratio_vector, split_widths, PartitionPlan};
 pub use psi::{psi_align, PsiAlignment};
 pub use shuffle::{negotiate_seed, round_seed, SharedShuffler};
-pub use transport::{Fault, NetStats, Network, PartyId, TransportError};
-pub use wire::{DecodeMessageError, MatrixPayload, Message};
+pub use transport::{Fault, NetStats, Network, PartyId, RoundStats, TransportError};
+pub use wire::{DecodeMessageError, MatrixPayload, Message, WireCodec};

@@ -6,11 +6,13 @@
 //! crossbeam channels, usable both from a single-threaded orchestrator and
 //! from parties running on their own threads.
 
-use crate::wire::{DecodeMessageError, Message};
+use crate::wire::{DecodeMessageError, Message, WireCodec};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A transport-layer failure.
@@ -46,6 +48,17 @@ pub enum TransportError {
         /// The message itself.
         got: Message,
     },
+    /// A protocol step expected one message variant and received another —
+    /// a desynchronized (or tampered-with) peer, never to be silently
+    /// consumed as an ack.
+    ProtocolViolation {
+        /// Sender of the offending message.
+        from: PartyId,
+        /// The variant name the step expected ([`Message::kind`]).
+        expected: &'static str,
+        /// The message actually received.
+        got: Message,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -61,6 +74,9 @@ impl fmt::Display for TransportError {
             TransportError::Decode(e) => write!(f, "wire round-trip failed: {e}"),
             TransportError::UnexpectedMessage { from, context, got } => {
                 write!(f, "unexpected message from {from} during {context}: {got:?}")
+            }
+            TransportError::ProtocolViolation { from, expected, got } => {
+                write!(f, "protocol violation: expected {expected} from {from}, got {got:?}")
             }
         }
     }
@@ -102,6 +118,37 @@ impl fmt::Display for PartyId {
     }
 }
 
+/// Traffic counters for one training round (see [`Network::begin_round`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// The round label the orchestrator opened this window with.
+    pub round: u64,
+    /// Messages sent during the round.
+    pub messages: u64,
+    /// Bytes sent during the round.
+    pub bytes: u64,
+    /// Per-(from, to) message and byte counts during the round.
+    pub per_link: HashMap<(PartyId, PartyId), (u64, u64)>,
+}
+
+impl RoundStats {
+    /// Messages and bytes `party` sent during the round.
+    pub fn sent_by(&self, party: PartyId) -> (u64, u64) {
+        self.per_link
+            .iter()
+            .filter(|((f, _), _)| *f == party)
+            .fold((0, 0), |(m, b), (_, &(dm, db))| (m + dm, b + db))
+    }
+
+    /// Messages and bytes `party` received during the round.
+    pub fn received_by(&self, party: PartyId) -> (u64, u64) {
+        self.per_link
+            .iter()
+            .filter(|((_, t), _)| *t == party)
+            .fold((0, 0), |(m, b), (_, &(dm, db))| (m + dm, b + db))
+    }
+}
+
 /// Cumulative traffic counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -111,6 +158,11 @@ pub struct NetStats {
     pub bytes: u64,
     /// Per-(from, to) message and byte counts.
     pub per_link: HashMap<(PartyId, PartyId), (u64, u64)>,
+    /// Per-round breakdown: one entry per [`Network::begin_round`] call,
+    /// accumulating all traffic until the next call. Traffic before the
+    /// first `begin_round` (e.g. seed negotiation) is counted only in the
+    /// cumulative totals.
+    pub rounds: Vec<RoundStats>,
 }
 
 impl NetStats {
@@ -152,6 +204,7 @@ pub struct Network {
     inboxes: Mutex<Inboxes>,
     faults: Mutex<Vec<(PartyId, PartyId, Fault)>>,
     recv_timeout: Mutex<Duration>,
+    codec: Mutex<WireCodec>,
 }
 
 impl fmt::Debug for Network {
@@ -182,6 +235,7 @@ impl Network {
             inboxes: Mutex::new(Inboxes { senders, receivers }),
             faults: Mutex::new(Vec::new()),
             recv_timeout: Mutex::new(DEFAULT_RECV_TIMEOUT),
+            codec: Mutex::new(WireCodec::Dense),
         }
     }
 
@@ -189,6 +243,24 @@ impl Network {
     /// [`TransportError::Timeout`] (default [`DEFAULT_RECV_TIMEOUT`]).
     pub fn set_recv_timeout(&self, timeout: Duration) {
         *self.recv_timeout.lock() = timeout;
+    }
+
+    /// Selects how matrix payloads are encoded on the wire (default
+    /// [`WireCodec::Dense`]). Lossless either way — only byte counts change.
+    pub fn set_codec(&self, codec: WireCodec) {
+        *self.codec.lock() = codec;
+    }
+
+    /// The wire codec in effect.
+    pub fn codec(&self) -> WireCodec {
+        *self.codec.lock()
+    }
+
+    /// Opens a new per-round traffic window labelled `round`: all traffic
+    /// until the next call accumulates into one [`RoundStats`] entry of
+    /// [`NetStats::rounds`] (cumulative counters are unaffected).
+    pub fn begin_round(&self, round: u64) {
+        self.stats.lock().rounds.push(RoundStats { round, ..RoundStats::default() });
     }
 
     /// Arms a one-shot fault for the next send on `(from, to)` — protocol
@@ -213,7 +285,37 @@ impl Network {
     /// [`TransportError::Decode`] if the message fails to round-trip
     /// through its own wire encoding.
     pub fn send(&self, from: PartyId, to: PartyId, msg: Message) -> Result<(), TransportError> {
-        let encoded = msg.encode();
+        let encoded = msg.encode_with(self.codec());
+        self.deliver(from, to, encoded)
+    }
+
+    /// Delivers one fan-out of pre-addressed messages: every payload is
+    /// encoded concurrently on the deterministic `gtv_tensor::pool` workers
+    /// (serialization cost is per-byte, and independent per message), then
+    /// metered and delivered **in input order** — the wire trace is
+    /// byte-identical to sending the same list through [`Network::send`]
+    /// one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::send`]; delivery stops at the first
+    /// failing message.
+    pub fn send_all(&self, msgs: Vec<(PartyId, PartyId, Message)>) -> Result<(), TransportError> {
+        let codec = self.codec();
+        let msgs = Arc::new(msgs);
+        let encoder = Arc::clone(&msgs);
+        let encoded =
+            gtv_tensor::pool::run_ordered(msgs.len(), move |i| encoder[i].2.encode_with(codec));
+        for (&(from, to, _), bytes) in msgs.iter().zip(encoded) {
+            self.deliver(from, to, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Meters `encoded` on the `(from, to)` link and delivers its decoded
+    /// message to `to`'s inbox (the shared tail of [`Network::send`] and
+    /// [`Network::send_all`]).
+    fn deliver(&self, from: PartyId, to: PartyId, encoded: Bytes) -> Result<(), TransportError> {
         {
             let mut stats = self.stats.lock();
             stats.messages += 1;
@@ -221,6 +323,13 @@ impl Network {
             let entry = stats.per_link.entry((from, to)).or_insert((0, 0));
             entry.0 += 1;
             entry.1 += encoded.len() as u64;
+            if let Some(round) = stats.rounds.last_mut() {
+                round.messages += 1;
+                round.bytes += encoded.len() as u64;
+                let entry = round.per_link.entry((from, to)).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += encoded.len() as u64;
+            }
         }
         // Decode from the wire bytes — the recipient sees only what was
         // actually serialized.
@@ -291,6 +400,74 @@ impl Network {
         })
     }
 
+    /// [`Network::recv`], additionally checking the popped message is the
+    /// `expected` variant ([`Message::kind`]).
+    ///
+    /// Protocol steps that consume a message they already know the shape of
+    /// must use this instead of discarding a bare `recv` result: a
+    /// desynchronized peer then surfaces as a
+    /// [`TransportError::ProtocolViolation`] at the step that noticed,
+    /// instead of silently corrupting a later phase.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ProtocolViolation`] on a variant mismatch, plus
+    /// every [`Network::recv`] condition.
+    pub fn recv_expect(
+        &self,
+        party: PartyId,
+        expected: &'static str,
+    ) -> Result<(PartyId, Message), TransportError> {
+        let (from, msg) = self.recv(party)?;
+        if msg.kind() != expected {
+            return Err(TransportError::ProtocolViolation { from, expected, got: msg });
+        }
+        Ok((from, msg))
+    }
+
+    /// Fan-in: pops one `expected`-variant message from each of `senders`
+    /// at `at`'s inbox and returns them **in `senders` order**, regardless
+    /// of arrival order. This is what keeps the pipelined schedule
+    /// observation-identical to lockstep: the server processes replies in
+    /// fixed party order even if clients finished out of order.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::UnexpectedMessage`] on a message from a party not
+    /// in `senders` (or a duplicate), [`TransportError::ProtocolViolation`]
+    /// on a variant mismatch, plus every [`Network::recv`] condition.
+    pub fn gather(
+        &self,
+        at: PartyId,
+        senders: &[PartyId],
+        expected: &'static str,
+    ) -> Result<Vec<Message>, TransportError> {
+        let mut slots: Vec<Option<Message>> = vec![None; senders.len()];
+        for _ in 0..senders.len() {
+            let (from, msg) = self.recv(at)?;
+            let Some(pos) = senders.iter().position(|&s| s == from) else {
+                return Err(TransportError::UnexpectedMessage {
+                    from,
+                    context: "gather: sender not in the fan-in set",
+                    got: msg,
+                });
+            };
+            if slots[pos].is_some() {
+                return Err(TransportError::UnexpectedMessage {
+                    from,
+                    context: "gather: duplicate sender",
+                    got: msg,
+                });
+            }
+            if msg.kind() != expected {
+                return Err(TransportError::ProtocolViolation { from, expected, got: msg });
+            }
+            slots[pos] = Some(msg);
+        }
+        // n distinct senders filled n slots; collect() is total here.
+        slots.into_iter().collect::<Option<Vec<_>>>().ok_or(TransportError::InboxEmpty(at))
+    }
+
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> NetStats {
         self.stats.lock().clone()
@@ -317,9 +494,148 @@ mod tests {
         assert_eq!(got, msg);
         let stats = net.stats();
         assert_eq!(stats.messages, 1);
-        assert_eq!(stats.bytes, 1 + 8 + 8);
-        assert_eq!(stats.link_bytes(PartyId::Server, PartyId::Client(0)), 17);
-        assert_eq!(stats.server_bytes(), 17);
+        // tag + matrix format byte + 8-byte header + 2 × f32.
+        assert_eq!(stats.bytes, 1 + 9 + 8);
+        assert_eq!(stats.link_bytes(PartyId::Server, PartyId::Client(0)), 18);
+        assert_eq!(stats.server_bytes(), 18);
+    }
+
+    #[test]
+    fn adaptive_codec_shrinks_sparse_traffic_losslessly() {
+        let sparse_payload = MatrixPayload::new(2, 8, {
+            let mut v = vec![0.0f32; 16];
+            v[3] = 1.0;
+            v
+        });
+        let dense_net = Network::new(1);
+        dense_net
+            .send(PartyId::Client(0), PartyId::Server, Message::SynthLogits(sparse_payload.clone()))
+            .unwrap();
+        let adaptive_net = Network::new(1);
+        adaptive_net.set_codec(WireCodec::Adaptive);
+        adaptive_net
+            .send(PartyId::Client(0), PartyId::Server, Message::SynthLogits(sparse_payload.clone()))
+            .unwrap();
+        assert!(adaptive_net.stats().bytes < dense_net.stats().bytes);
+        // The recipient still decodes the bit-identical dense matrix.
+        let (_, got) = adaptive_net.recv(PartyId::Server).unwrap();
+        assert_eq!(got, Message::SynthLogits(sparse_payload));
+    }
+
+    #[test]
+    fn send_all_matches_sequential_sends_byte_for_byte() {
+        let msgs = || {
+            vec![
+                (
+                    PartyId::Server,
+                    PartyId::Client(0),
+                    Message::GenSlice(MatrixPayload::new(1, 3, vec![0.0, 2.0, 0.0])),
+                ),
+                (
+                    PartyId::Server,
+                    PartyId::Client(1),
+                    Message::GenSlice(MatrixPayload::new(1, 3, vec![1.0, 0.0, 0.0])),
+                ),
+                (PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 9 }),
+            ]
+        };
+        let seq = Network::new(2);
+        seq.set_codec(WireCodec::Adaptive);
+        for (f, t, m) in msgs() {
+            seq.send(f, t, m).unwrap();
+        }
+        let all = Network::new(2);
+        all.set_codec(WireCodec::Adaptive);
+        all.send_all(msgs()).unwrap();
+        assert_eq!(seq.stats(), all.stats());
+        // FIFO order per inbox is preserved.
+        let (_, a) = all.recv(PartyId::Client(0)).unwrap();
+        assert_eq!(a, Message::GenSlice(MatrixPayload::new(1, 3, vec![0.0, 2.0, 0.0])));
+    }
+
+    #[test]
+    fn recv_expect_flags_a_wrong_variant() {
+        let net = Network::new(1);
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 3 })
+            .unwrap();
+        let err = net.recv_expect(PartyId::Server, "SynthLogits").unwrap_err();
+        match err {
+            TransportError::ProtocolViolation { from, expected, got } => {
+                assert_eq!(from, PartyId::Client(0));
+                assert_eq!(expected, "SynthLogits");
+                assert_eq!(got, Message::ShuffleSeedShare { share: 3 });
+            }
+            other => panic!("expected ProtocolViolation, got {other:?}"),
+        }
+        // A matching variant passes through.
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 4 })
+            .unwrap();
+        assert!(net.recv_expect(PartyId::Server, "ShuffleSeedShare").is_ok());
+    }
+
+    #[test]
+    fn gather_returns_fixed_party_order_regardless_of_arrival() {
+        let net = Network::new(2);
+        // Client 1's reply lands first.
+        net.send(PartyId::Client(1), PartyId::Server, Message::ShuffleSeedShare { share: 11 })
+            .unwrap();
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 10 })
+            .unwrap();
+        let got = net
+            .gather(PartyId::Server, &[PartyId::Client(0), PartyId::Client(1)], "ShuffleSeedShare")
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![Message::ShuffleSeedShare { share: 10 }, Message::ShuffleSeedShare { share: 11 }]
+        );
+    }
+
+    #[test]
+    fn gather_rejects_outsiders_and_duplicates() {
+        let net = Network::new(3);
+        net.send(PartyId::Client(2), PartyId::Server, Message::ShuffleSeedShare { share: 1 })
+            .unwrap();
+        let err = net
+            .gather(PartyId::Server, &[PartyId::Client(0), PartyId::Client(1)], "ShuffleSeedShare")
+            .unwrap_err();
+        assert!(matches!(err, TransportError::UnexpectedMessage { from: PartyId::Client(2), .. }));
+        let net = Network::new(2);
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 1 })
+            .unwrap();
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 2 })
+            .unwrap();
+        let err = net
+            .gather(PartyId::Server, &[PartyId::Client(0), PartyId::Client(1)], "ShuffleSeedShare")
+            .unwrap_err();
+        assert!(matches!(err, TransportError::UnexpectedMessage { from: PartyId::Client(0), .. }));
+    }
+
+    #[test]
+    fn begin_round_opens_per_round_windows() {
+        let net = Network::new(1);
+        // Pre-round traffic counts only toward the cumulative totals.
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 0 })
+            .unwrap();
+        net.begin_round(0);
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 1 })
+            .unwrap();
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 2 })
+            .unwrap();
+        net.begin_round(1);
+        net.send(PartyId::Client(0), PartyId::Server, Message::ShuffleSeedShare { share: 3 })
+            .unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.messages, 4);
+        assert_eq!(stats.rounds.len(), 2);
+        assert_eq!((stats.rounds[0].round, stats.rounds[0].messages), (0, 2));
+        assert_eq!((stats.rounds[1].round, stats.rounds[1].messages), (1, 1));
+        assert_eq!(stats.rounds[0].sent_by(PartyId::Server).0, 2);
+        assert_eq!(stats.rounds[0].received_by(PartyId::Client(0)).0, 2);
+        assert_eq!(stats.rounds[1].sent_by(PartyId::Server).0, 0);
+        assert_eq!(
+            stats.rounds[0].bytes + stats.rounds[1].bytes + 9, // 9 = pre-round message
+            stats.bytes
+        );
     }
 
     #[test]

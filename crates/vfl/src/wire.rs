@@ -4,8 +4,28 @@
 //! little-endian scalars) so the transport layer can meter *exactly* how
 //! many bytes each protocol step moves — the paper's communication-overhead
 //! discussion (§4.3.1) is reproduced from these counters.
+//!
+//! Matrix bodies use **wire format v2** (DESIGN.md §10): every matrix
+//! starts with a one-byte format tag selecting a dense body (one f32 per
+//! entry) or a sparse body (explicit `(index, value)` pairs for every
+//! entry whose bit pattern is not `+0.0`). Both bodies decode to the
+//! bit-identical dense matrix; [`WireCodec::Adaptive`] picks whichever is
+//! smaller per message, which collapses the one-hot conditional-vector and
+//! ReLU-gradient payloads that dominate GTV's traffic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// How matrix bodies are chosen at encode time (wire format v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Always the dense body — one f32 per entry.
+    #[default]
+    Dense,
+    /// Per matrix: the sparse `(index, value)` body whenever it is strictly
+    /// smaller than the dense one, dense otherwise. Lossless either way —
+    /// the choice never changes the decoded values.
+    Adaptive,
+}
 
 /// A dense f32 matrix payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,11 +49,60 @@ impl MatrixPayload {
         Self { rows, cols, data }
     }
 
-    /// Encoded size in bytes.
+    /// Encoded size in bytes of the dense body (format byte, 8-byte header,
+    /// 4 bytes per entry).
     pub fn encoded_len(&self) -> usize {
-        8 + self.data.len() * 4
+        9 + self.data.len() * 4
+    }
+
+    /// Entries whose bit pattern is not `+0.0` — the only value the sparse
+    /// decoder reconstructs implicitly. `-0.0`, NaN, infinities and
+    /// subnormals all have nonzero bits and are stored explicitly, keeping
+    /// sparse round-trips bit-exact.
+    pub fn stored_entries(&self) -> usize {
+        self.data.iter().filter(|v| v.to_bits() != 0).count()
+    }
+
+    /// Encoded size in bytes of the sparse body for `nnz` stored entries
+    /// (format byte, 8-byte header, 4-byte count, 8 bytes per pair).
+    pub fn sparse_encoded_len(nnz: usize) -> usize {
+        13 + nnz * 8
+    }
+
+    /// Whether [`WireCodec::Adaptive`] picks the sparse body for this
+    /// matrix: only when it is strictly smaller than the dense one, and the
+    /// matrix is small enough for the decoder's allocation bound.
+    pub fn adaptive_is_sparse(&self) -> bool {
+        self.data.len() <= MAX_SPARSE_DENSE_ENTRIES
+            && Self::sparse_encoded_len(self.stored_entries()) < self.encoded_len()
+    }
+
+    /// Encoded size in bytes under `codec`.
+    pub fn encoded_len_with(&self, codec: WireCodec) -> usize {
+        match codec {
+            WireCodec::Dense => self.encoded_len(),
+            WireCodec::Adaptive => {
+                if self.adaptive_is_sparse() {
+                    Self::sparse_encoded_len(self.stored_entries())
+                } else {
+                    self.encoded_len()
+                }
+            }
+        }
     }
 }
+
+/// Matrix body format tags (wire format v2).
+const MATRIX_FORMAT_DENSE: u8 = 0;
+const MATRIX_FORMAT_SPARSE: u8 = 1;
+
+/// Largest dense entry count a sparse body may describe. A sparse body's
+/// wire size is independent of the dense size it expands to, so without a
+/// bound a 13-byte adversarial header could demand a multi-gigabyte
+/// allocation from the decoder. 2^28 f32 entries (1 GiB) is far above any
+/// real GTV payload; the adaptive encoder falls back to dense beyond it so
+/// encode→decode stays total.
+const MAX_SPARSE_DENSE_ENTRIES: usize = 1 << 28;
 
 /// Error from decoding a malformed message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,8 +185,30 @@ impl Message {
         }
     }
 
-    /// Encodes to bytes.
+    /// The variant name, used by protocol steps to state which reply they
+    /// expect (see `Network::recv_expect`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::RoundStart { .. } => "RoundStart",
+            Message::CondUpload { .. } => "CondUpload",
+            Message::GenSlice(_) => "GenSlice",
+            Message::SynthLogits(_) => "SynthLogits",
+            Message::RealLogits(_) => "RealLogits",
+            Message::GradLogits(_) => "GradLogits",
+            Message::GradGenSlice(_) => "GradGenSlice",
+            Message::SyntheticShare(_) => "SyntheticShare",
+            Message::ShuffleSeedShare { .. } => "ShuffleSeedShare",
+            Message::IndexShare { .. } => "IndexShare",
+        }
+    }
+
+    /// Encodes to bytes with every matrix body dense ([`WireCodec::Dense`]).
     pub fn encode(&self) -> Bytes {
+        self.encode_with(WireCodec::Dense)
+    }
+
+    /// Encodes to bytes, choosing each matrix body per `codec`.
+    pub fn encode_with(&self, codec: WireCodec) -> Bytes {
         let mut buf = BytesMut::with_capacity(16);
         buf.put_u8(self.tag());
         match self {
@@ -126,7 +217,7 @@ impl Message {
                 buf.put_u32_le(*selected);
             }
             Message::CondUpload { cv, indices } => {
-                put_matrix(&mut buf, cv);
+                put_matrix(&mut buf, cv, codec);
                 debug_assert!(indices.len() <= u32::MAX as usize, "index count exceeds wire width");
                 buf.put_u32_le(indices.len() as u32);
                 for &i in indices {
@@ -138,7 +229,7 @@ impl Message {
             | Message::RealLogits(m)
             | Message::GradLogits(m)
             | Message::GradGenSlice(m)
-            | Message::SyntheticShare(m) => put_matrix(&mut buf, m),
+            | Message::SyntheticShare(m) => put_matrix(&mut buf, m, codec),
             Message::ShuffleSeedShare { share } => buf.put_u64_le(*share),
             Message::IndexShare { indices } => {
                 debug_assert!(indices.len() <= u32::MAX as usize, "index count exceeds wire width");
@@ -211,7 +302,16 @@ impl Message {
     }
 }
 
-fn put_matrix(buf: &mut BytesMut, m: &MatrixPayload) {
+fn put_matrix(buf: &mut BytesMut, m: &MatrixPayload, codec: WireCodec) {
+    if codec == WireCodec::Adaptive && m.adaptive_is_sparse() {
+        put_matrix_sparse(buf, m);
+    } else {
+        put_matrix_dense(buf, m);
+    }
+}
+
+fn put_matrix_dense(buf: &mut BytesMut, m: &MatrixPayload) {
+    buf.put_u8(MATRIX_FORMAT_DENSE);
     buf.put_u32_le(m.rows);
     buf.put_u32_le(m.cols);
     // Bulk body write: serialize every value into one scratch buffer and
@@ -225,25 +325,92 @@ fn put_matrix(buf: &mut BytesMut, m: &MatrixPayload) {
     buf.put_slice(&body);
 }
 
+fn put_matrix_sparse(buf: &mut BytesMut, m: &MatrixPayload) {
+    buf.put_u8(MATRIX_FORMAT_SPARSE);
+    buf.put_u32_le(m.rows);
+    buf.put_u32_le(m.cols);
+    let nnz = m.stored_entries();
+    debug_assert!(nnz <= u32::MAX as usize, "sparse entry count exceeds wire width");
+    buf.put_u32_le(nnz as u32);
+    // One (index, value) pair per stored entry, in strictly increasing
+    // index order — the canonical form the decoder enforces. The nonzero
+    // test is on the *bit pattern*: -0.0, NaN, Inf and subnormals are all
+    // stored explicitly, so decode is bit-identical to the dense body.
+    let mut body = Vec::with_capacity(nnz * 8);
+    for (i, &v) in m.data.iter().enumerate() {
+        if v.to_bits() == 0 {
+            continue;
+        }
+        debug_assert!(i <= u32::MAX as usize, "sparse entry index exceeds wire width");
+        body.extend_from_slice(&(i as u32).to_le_bytes());
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.put_slice(&body);
+}
+
 fn get_matrix(bytes: &mut Bytes) -> Result<MatrixPayload, DecodeMessageError> {
-    if bytes.remaining() < 8 {
+    if bytes.remaining() < 9 {
         return Err(err("truncated matrix header"));
     }
+    let format = bytes.get_u8();
     let rows = bytes.get_u32_le();
     let cols = bytes.get_u32_le();
     let n = rows.checked_mul(cols).ok_or_else(|| err("matrix dimensions overflow"))? as usize;
-    if bytes.remaining() < n * 4 {
-        return Err(err("truncated matrix body"));
+    match format {
+        MATRIX_FORMAT_DENSE => {
+            if bytes.remaining() < n * 4 {
+                return Err(err("truncated matrix body"));
+            }
+            // Bulk body read: parse the contiguous little-endian body in one
+            // pass over the underlying slice, then advance the cursor once.
+            let mut data = Vec::with_capacity(n);
+            data.extend(bytes.chunk()[..n * 4].chunks_exact(4).map(|c| {
+                // gtv-lint: allow(panic) -- chunks_exact(4) yields exactly 4 bytes
+                f32::from_le_bytes(c.try_into().expect("4-byte chunk"))
+            }));
+            bytes.advance(n * 4);
+            Ok(MatrixPayload { rows, cols, data })
+        }
+        MATRIX_FORMAT_SPARSE => {
+            if n > MAX_SPARSE_DENSE_ENTRIES {
+                return Err(err("sparse matrix exceeds the decoder allocation bound"));
+            }
+            if bytes.remaining() < 4 {
+                return Err(err("truncated sparse entry count"));
+            }
+            let nnz = bytes.get_u32_le() as usize;
+            if nnz > n {
+                return Err(err("sparse entry count exceeds matrix size"));
+            }
+            if bytes.remaining() < nnz * 8 {
+                return Err(err("truncated sparse matrix body"));
+            }
+            let mut data = vec![0.0f32; n];
+            let mut prev: Option<u32> = None;
+            for chunk in bytes.chunk()[..nnz * 8].chunks_exact(8) {
+                let idx = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                let val = f32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+                // Only the canonical form decodes: strictly increasing
+                // indices, in range, and no explicitly-stored +0.0 bits
+                // (those belong to the implicit zero fill). Anything else
+                // would make re-encoding unstable.
+                if prev.is_some_and(|p| idx <= p) {
+                    return Err(err("sparse indices not strictly increasing"));
+                }
+                if idx as usize >= n {
+                    return Err(err("sparse index out of range"));
+                }
+                if val.to_bits() == 0 {
+                    return Err(err("sparse entry stores an implicit zero"));
+                }
+                data[idx as usize] = val;
+                prev = Some(idx);
+            }
+            bytes.advance(nnz * 8);
+            Ok(MatrixPayload { rows, cols, data })
+        }
+        f => Err(err(&format!("unknown matrix format {f}"))),
     }
-    // Bulk body read: parse the contiguous little-endian body in one pass
-    // over the underlying slice, then advance the cursor once.
-    let mut data = Vec::with_capacity(n);
-    data.extend(bytes.chunk()[..n * 4].chunks_exact(4).map(|c| {
-        // gtv-lint: allow(panic) -- chunks_exact(4) yields exactly 4 bytes
-        f32::from_le_bytes(c.try_into().expect("4-byte chunk"))
-    }));
-    bytes.advance(n * 4);
-    Ok(MatrixPayload { rows, cols, data })
 }
 
 #[cfg(test)]
@@ -294,8 +461,92 @@ mod tests {
     #[test]
     fn encoded_len_matches() {
         let m = demo_matrix();
-        assert_eq!(m.encoded_len(), 8 + 6 * 4);
+        // Format byte + 8-byte header + 4 bytes per entry.
+        assert_eq!(m.encoded_len(), 9 + 6 * 4);
         let enc = Message::GenSlice(m).encode();
-        assert_eq!(enc.len(), 1 + 8 + 24);
+        assert_eq!(enc.len(), 1 + 9 + 24);
+    }
+
+    #[test]
+    fn adaptive_codec_picks_sparse_only_when_smaller() {
+        // 1 nonzero out of 8: sparse (13 + 8) beats dense (9 + 32).
+        let sparse = MatrixPayload::new(2, 4, vec![0.0, 0.0, 3.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(sparse.adaptive_is_sparse());
+        assert_eq!(sparse.encoded_len_with(WireCodec::Adaptive), 13 + 8);
+        assert_eq!(sparse.encoded_len_with(WireCodec::Dense), 9 + 32);
+        let enc = Message::GenSlice(sparse.clone()).encode_with(WireCodec::Adaptive);
+        assert_eq!(enc.len(), 1 + 13 + 8);
+        assert_eq!(Message::decode(enc).unwrap(), Message::GenSlice(sparse));
+        // Fully dense matrix: adaptive falls back to the dense body.
+        let dense = demo_matrix();
+        assert!(!dense.adaptive_is_sparse());
+        let enc = Message::GenSlice(dense.clone()).encode_with(WireCodec::Adaptive);
+        assert_eq!(enc.len(), 1 + dense.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), Message::GenSlice(dense));
+    }
+
+    #[test]
+    fn sparse_body_preserves_nonfinite_and_signed_zero_bits() {
+        // -0.0 has a nonzero bit pattern and must be stored explicitly;
+        // NaN/Inf must survive bit-exactly. One +0.0 keeps the row sparse.
+        let m = MatrixPayload::new(1, 6, vec![0.0, -0.0, f32::NAN, f32::INFINITY, 0.0, 0.0]);
+        assert_eq!(m.stored_entries(), 3);
+        let enc = Message::SynthLogits(m.clone()).encode_with(WireCodec::Adaptive);
+        let Message::SynthLogits(back) = Message::decode(enc).unwrap() else {
+            panic!("variant must survive");
+        };
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.data), bits(&m.data));
+    }
+
+    #[test]
+    fn sparse_decoder_rejects_non_canonical_bodies() {
+        let mut buf = BytesMut::with_capacity(64);
+        // tag GenSlice, sparse 1×4 with out-of-range index 9.
+        buf.put_u8(2);
+        buf.put_u8(MATRIX_FORMAT_SPARSE);
+        buf.put_u32_le(1);
+        buf.put_u32_le(4);
+        buf.put_u32_le(1);
+        buf.put_u32_le(9);
+        buf.put_f32_le(1.0);
+        assert!(Message::decode(buf.freeze()).is_err());
+        // Non-increasing indices.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(2);
+        buf.put_u8(MATRIX_FORMAT_SPARSE);
+        buf.put_u32_le(1);
+        buf.put_u32_le(4);
+        buf.put_u32_le(2);
+        buf.put_u32_le(1);
+        buf.put_f32_le(1.0);
+        buf.put_u32_le(1);
+        buf.put_f32_le(2.0);
+        assert!(Message::decode(buf.freeze()).is_err());
+        // An explicitly-stored +0.0 belongs to the implicit fill.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(2);
+        buf.put_u8(MATRIX_FORMAT_SPARSE);
+        buf.put_u32_le(1);
+        buf.put_u32_le(4);
+        buf.put_u32_le(1);
+        buf.put_u32_le(0);
+        buf.put_f32_le(0.0);
+        assert!(Message::decode(buf.freeze()).is_err());
+        // Unknown format byte.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(2);
+        buf.put_u8(7);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_f32_le(1.0);
+        assert!(Message::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn kind_names_every_variant() {
+        assert_eq!(Message::RoundStart { round: 0, selected: 0 }.kind(), "RoundStart");
+        assert_eq!(Message::GenSlice(demo_matrix()).kind(), "GenSlice");
+        assert_eq!(Message::ShuffleSeedShare { share: 0 }.kind(), "ShuffleSeedShare");
     }
 }

@@ -5,7 +5,7 @@
 //! `wire_roundtrip.rs`, which only exercises the happy path.
 
 use bytes::Bytes;
-use gtv_vfl::{MatrixPayload, Message};
+use gtv_vfl::{MatrixPayload, Message, WireCodec};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -21,6 +21,19 @@ fn assert_decode_total(bytes: &[u8]) {
 
 fn matrix() -> impl Strategy<Value = MatrixPayload> {
     (vec(-100.0f32..100.0f32, 0..48usize), 1usize..5).prop_map(|(data, cols)| {
+        let rows = data.len() / cols;
+        MatrixPayload::new(rows as u32, cols as u32, data[..rows * cols].to_vec())
+    })
+}
+
+/// Mostly-zero matrices — under the adaptive codec these encode to the
+/// sparse body, so truncating/mutating their encodings drives the sparse
+/// decoder arm through its validation paths.
+fn sparse_matrix() -> impl Strategy<Value = MatrixPayload> {
+    (vec((-100.0f32..100.0f32, 0u32..100), 0..48usize), 1usize..5).prop_map(|(entries, cols)| {
+        // ~15% of entries survive; the rest collapse to +0.0.
+        let data: Vec<f32> =
+            entries.iter().map(|&(v, keep)| if keep < 15 { v } else { 0.0 }).collect();
         let rows = data.len() / cols;
         MatrixPayload::new(rows as u32, cols as u32, data[..rows * cols].to_vec())
     })
@@ -56,6 +69,26 @@ proptest! {
     #[test]
     fn single_byte_mutations_never_panic(msg in message(), pos in any::<usize>(), flip in 1u8..255u8) {
         let mut bytes = msg.encode().to_vec();
+        if !bytes.is_empty() {
+            let at = pos % bytes.len();
+            bytes[at] ^= flip;
+        }
+        assert_decode_total(&bytes);
+    }
+
+    #[test]
+    fn truncated_sparse_bodies_never_panic(m in sparse_matrix(), cut in any::<usize>()) {
+        let encoded = Message::GenSlice(m).encode_with(WireCodec::Adaptive).to_vec();
+        let len = cut % (encoded.len() + 1);
+        assert_decode_total(&encoded[..len]);
+    }
+
+    #[test]
+    fn mutated_sparse_bodies_never_panic(m in sparse_matrix(), pos in any::<usize>(), flip in 1u8..255u8) {
+        // Flipped bytes can produce out-of-range indices, non-increasing
+        // index runs, stored zeros, absurd nnz counts or an unknown format
+        // tag — all must surface as Err, never as a panic or a bad alloc.
+        let mut bytes = Message::GenSlice(m).encode_with(WireCodec::Adaptive).to_vec();
         if !bytes.is_empty() {
             let at = pos % bytes.len();
             bytes[at] ^= flip;

@@ -1,7 +1,8 @@
 //! Property tests: every `Message` variant survives an encode→decode
-//! round-trip bit-exactly, and the encoded length matches the meter.
+//! round-trip bit-exactly — under both wire codecs — and the encoded
+//! length matches the meter.
 
-use gtv_vfl::{MatrixPayload, Message};
+use gtv_vfl::{MatrixPayload, Message, WireCodec};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -10,6 +11,49 @@ fn matrix() -> impl Strategy<Value = MatrixPayload> {
         let rows = data.len() / cols;
         MatrixPayload::new(rows as u32, cols as u32, data[..rows * cols].to_vec())
     })
+}
+
+/// One entry drawn from the full f32 bit space plus the values the sparse
+/// body treats specially: both zeros, NaN, infinities and subnormals.
+fn tricky_f32() -> impl Strategy<Value = f32> {
+    (0u32..8, any::<u32>()).prop_map(|(pick, bits)| match pick {
+        0 => 0.0f32,
+        1 => -0.0f32,
+        2 => f32::NAN,
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        5 => f32::MIN_POSITIVE / 2.0, // subnormal
+        6 => f32::from_bits(bits),    // anything, incl. signalling NaNs
+        _ => (bits as f32 / u32::MAX as f32) * 200.0 - 100.0,
+    })
+}
+
+/// Mostly-zero matrices with adversarial entry values — the payloads the
+/// adaptive codec actually picks the sparse body for.
+fn sparse_matrix() -> impl Strategy<Value = MatrixPayload> {
+    (vec((tricky_f32(), 0u32..100), 0..48usize), 1usize..5).prop_map(|(entries, cols)| {
+        // ~20% of entries survive; the rest collapse to +0.0.
+        let data: Vec<f32> =
+            entries.iter().map(|&(v, keep)| if keep < 20 { v } else { 0.0 }).collect();
+        let rows = data.len() / cols;
+        MatrixPayload::new(rows as u32, cols as u32, data[..rows * cols].to_vec())
+    })
+}
+
+/// Bit-level equality: `==` on f32 would pass `0.0 == -0.0` and fail
+/// `NaN == NaN`, hiding exactly the cases the sparse body must preserve.
+fn assert_bits_equal(a: &MatrixPayload, b: &MatrixPayload) {
+    assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+    let ab: Vec<u32> = a.data.iter().map(|v| v.to_bits()).collect();
+    let bb: Vec<u32> = b.data.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(ab, bb, "decoded entries must be bit-identical");
+}
+
+fn payload_of(msg: &Message) -> &MatrixPayload {
+    match msg {
+        Message::GenSlice(m) => m,
+        other => panic!("expected GenSlice, got {other:?}"),
+    }
 }
 
 fn roundtrip(msg: &Message) {
@@ -75,5 +119,44 @@ proptest! {
         // 1 tag byte + the matrix's self-reported size: the traffic meter
         // and the wire bytes must agree.
         prop_assert_eq!(msg.encode().len(), 1 + m.encoded_len());
+    }
+
+    #[test]
+    fn adaptive_encoded_len_matches_wire_bytes(m in sparse_matrix()) {
+        let msg = Message::GenSlice(m.clone());
+        prop_assert_eq!(
+            msg.encode_with(WireCodec::Adaptive).len(),
+            1 + m.encoded_len_with(WireCodec::Adaptive)
+        );
+    }
+
+    #[test]
+    fn sparse_body_roundtrips_bit_exactly(m in sparse_matrix()) {
+        // NaN, ±0, infinities and subnormals must survive the sparse body
+        // with their exact bit patterns.
+        let decoded = Message::decode(Message::GenSlice(m.clone()).encode_with(WireCodec::Adaptive))
+            .expect("self-encoded message must decode");
+        assert_bits_equal(payload_of(&decoded), &m);
+    }
+
+    #[test]
+    fn codec_choice_never_changes_decoded_values(m in sparse_matrix()) {
+        // The density threshold is a pure size optimization: whatever body
+        // the adaptive codec picks, the decoder must reconstruct the same
+        // bits the dense body carries.
+        let msg = Message::GenSlice(m);
+        let dense = Message::decode(msg.encode_with(WireCodec::Dense))
+            .expect("dense encoding must decode");
+        let adaptive = Message::decode(msg.encode_with(WireCodec::Adaptive))
+            .expect("adaptive encoding must decode");
+        assert_bits_equal(payload_of(&dense), payload_of(&adaptive));
+    }
+
+    #[test]
+    fn adaptive_never_exceeds_dense_size(m in sparse_matrix()) {
+        let msg = Message::GenSlice(m);
+        prop_assert!(
+            msg.encode_with(WireCodec::Adaptive).len() <= msg.encode_with(WireCodec::Dense).len()
+        );
     }
 }

@@ -869,7 +869,10 @@ fn lint_wire(rel: &Path, lines: &[LexedLine], findings: &mut Vec<Finding>) {
         }
         out
     };
-    let encode_body = body_of("fn encode(");
+    // Wire format v2 splits encoding into a `encode` convenience wrapper
+    // delegating to a codec-parameterized `encode_with`; the variant match
+    // may live in either, so exhaustiveness checks their union.
+    let encode_body = format!("{}\n{}", body_of("fn encode("), body_of("fn encode_with("));
     let decode_body = body_of("fn decode(");
     for (variant, idx) in &variants {
         let qualified = format!("Message::{variant}");

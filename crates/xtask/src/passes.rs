@@ -55,7 +55,10 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     ("gtv_nn", &["gtv_tensor"]),
     ("gtv_encoders", &["gtv_data", "gtv_tensor"]),
     ("gtv_metrics", &["gtv_data"]),
-    ("gtv_vfl", &["gtv_data"]),
+    // The transport's pipelined fan-out encodes payloads on the sanctioned
+    // deterministic worker pool, so the VFL layer sits above the tensor
+    // runtime.
+    ("gtv_vfl", &["gtv_data", "gtv_tensor"]),
     ("gtv_ml", &["gtv_data", "gtv_tensor", "gtv_nn"]),
     ("gtv_cond", &["gtv_data", "gtv_encoders", "gtv_tensor"]),
     ("gtv", &["gtv_tensor", "gtv_nn", "gtv_data", "gtv_encoders", "gtv_cond", "gtv_vfl"]),

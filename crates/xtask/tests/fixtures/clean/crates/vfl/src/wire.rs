@@ -1,4 +1,12 @@
-//! Clean fixture: exhaustive wire handling, no denied tokens.
+//! Clean fixture: exhaustive wire handling, no denied tokens. Mirrors the
+//! wire-format-v2 shape: `encode` is a thin wrapper and the variant match
+//! lives in the codec-parameterized `encode_with` — L4 must accept the
+//! union of both bodies.
+
+pub enum Codec {
+    Dense,
+    Adaptive,
+}
 
 pub enum Message {
     Ping(u8),
@@ -8,11 +16,19 @@ pub enum Message {
 
 impl Message {
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(&Codec::Dense)
+    }
+
+    pub fn encode_with(&self, codec: &Codec) -> Vec<u8> {
+        let marker = match codec {
+            Codec::Dense => 0u8,
+            Codec::Adaptive => 1u8,
+        };
         match self {
-            Message::Ping(v) => vec![0, *v],
-            Message::Pong(v) => vec![1, *v],
+            Message::Ping(v) => vec![0, marker, *v],
+            Message::Pong(v) => vec![1, marker, *v],
             Message::ShuffleSeedShare { share } => {
-                let mut out = vec![2];
+                let mut out = vec![2, marker];
                 out.extend_from_slice(&share.to_le_bytes());
                 out
             }
@@ -21,9 +37,9 @@ impl Message {
 
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         match bytes {
-            [0, v] => Some(Message::Ping(*v)),
-            [1, v] => Some(Message::Pong(*v)),
-            [2, rest @ ..] => {
+            [0, _, v] => Some(Message::Ping(*v)),
+            [1, _, v] => Some(Message::Pong(*v)),
+            [2, _, rest @ ..] => {
                 let share = u64::from_le_bytes(rest.try_into().ok()?);
                 Some(Message::ShuffleSeedShare { share })
             }

@@ -10,6 +10,14 @@ pub fn bad_builder() {
     drop(builder);
 }
 
+pub fn bad_pipelined_fanout(payloads: Vec<u64>) -> Vec<u64> {
+    // A hand-rolled parallel message-encoding fan-out: must go through
+    // gtv_tensor::pool::run_ordered, not ad-hoc threads.
+    let handles: Vec<_> =
+        payloads.into_iter().map(|p| std::thread::spawn(move || p * 2)).collect();
+    handles.into_iter().filter_map(|h| h.join().ok()).collect()
+}
+
 pub fn fine_in_string() -> &'static str {
     "thread::spawn mentioned in a string is fine"
 }

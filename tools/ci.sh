@@ -39,8 +39,16 @@ step "training-step benchmark (BENCH_step.json)"
 cargo build -q --release -p gtv-bench --bin bench_step
 GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_step target/BENCH_step.json
 
+step "comms benchmark (BENCH_comms.json)"
+# {lockstep, pipelined} x {dense, sparse} x parties {2, 3, 5}: bytes and
+# messages per round, bytes_ratio_vs_dense and speedup_vs_lockstep
+# (DESIGN.md §10). Pipelined byte counts must equal lockstep's.
+cargo build -q --release -p gtv-bench --bin bench_comms
+GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_comms target/BENCH_comms.json
+
 # Publish the benchmark artifacts at the repo root.
 cp target/BENCH_tensor.json BENCH_tensor.json
 cp target/BENCH_step.json BENCH_step.json
+cp target/BENCH_comms.json BENCH_comms.json
 
 printf '\nci: all gates passed\n'
