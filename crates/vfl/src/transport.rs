@@ -198,6 +198,37 @@ pub enum Fault {
 /// Default bound on how long [`Network::recv`] waits for a message.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(1);
 
+/// Seeded Fisher–Yates permuter over fan-out delivery order; one fresh
+/// permutation per [`Network::send_all`] call, derived from (seed, call
+/// counter) via splitmix64 so a run is reproducible from its seed alone.
+#[derive(Debug)]
+struct Permuter {
+    seed: u64,
+    calls: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Permuter {
+    /// The delivery order for the next `n`-message fan-out.
+    fn order(&mut self, n: usize) -> Vec<usize> {
+        self.calls += 1;
+        let mut state = self.seed ^ self.calls.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
 /// The simulated network connecting server, clients and the public board.
 pub struct Network {
     stats: Mutex<NetStats>,
@@ -205,6 +236,7 @@ pub struct Network {
     faults: Mutex<Vec<(PartyId, PartyId, Fault)>>,
     recv_timeout: Mutex<Duration>,
     codec: Mutex<WireCodec>,
+    permuter: Mutex<Option<Permuter>>,
 }
 
 impl fmt::Debug for Network {
@@ -236,7 +268,20 @@ impl Network {
             faults: Mutex::new(Vec::new()),
             recv_timeout: Mutex::new(DEFAULT_RECV_TIMEOUT),
             codec: Mutex::new(WireCodec::Dense),
+            permuter: Mutex::new(None),
         }
+    }
+
+    /// Makes every subsequent [`Network::send_all`] deliver its fan-out in
+    /// a seeded pseudo-random order instead of input order. The schedule
+    /// explorer uses this to prove the round choreography is insensitive
+    /// to ready-message delivery order: because [`Network::gather`] slots
+    /// replies back into fixed sender order and every fan-out addresses
+    /// each recipient once, training results must be bit-identical under
+    /// any permutation. Per-call permutations are derived from
+    /// `(seed, call index)`, so a run replays exactly from its seed.
+    pub fn permute_deliveries(&self, seed: u64) {
+        *self.permuter.lock() = Some(Permuter { seed, calls: 0 });
     }
 
     /// Sets the bound [`Network::recv`] waits before reporting
@@ -294,7 +339,9 @@ impl Network {
     /// (serialization cost is per-byte, and independent per message), then
     /// metered and delivered **in input order** — the wire trace is
     /// byte-identical to sending the same list through [`Network::send`]
-    /// one at a time.
+    /// one at a time. Under [`Network::permute_deliveries`] the delivery
+    /// order is a seeded permutation instead; per-message bytes are
+    /// unchanged.
     ///
     /// # Errors
     ///
@@ -306,8 +353,22 @@ impl Network {
         let encoder = Arc::clone(&msgs);
         let encoded =
             gtv_tensor::pool::run_ordered(msgs.len(), move |i| encoder[i].2.encode_with(codec));
-        for (&(from, to, _), bytes) in msgs.iter().zip(encoded) {
-            self.deliver(from, to, bytes)?;
+        let order: Option<Vec<usize>> = self.permuter.lock().as_mut().map(|p| p.order(msgs.len()));
+        match order {
+            None => {
+                for (&(from, to, _), bytes) in msgs.iter().zip(encoded) {
+                    self.deliver(from, to, bytes)?;
+                }
+            }
+            Some(order) => {
+                let mut slots: Vec<Option<Bytes>> = encoded.into_iter().map(Some).collect();
+                for i in order {
+                    let (from, to, _) = msgs[i];
+                    if let Some(bytes) = slots[i].take() {
+                        self.deliver(from, to, bytes)?;
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -551,6 +612,43 @@ mod tests {
         // FIFO order per inbox is preserved.
         let (_, a) = all.recv(PartyId::Client(0)).unwrap();
         assert_eq!(a, Message::GenSlice(MatrixPayload::new(1, 3, vec![0.0, 2.0, 0.0])));
+    }
+
+    #[test]
+    fn permute_deliveries_reorders_deterministically_without_changing_traffic() {
+        let fan = || {
+            (0..4usize)
+                .map(|i| {
+                    (
+                        PartyId::Client(i),
+                        PartyId::Server,
+                        Message::ShuffleSeedShare { share: i as u64 },
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let drain = |net: &Network| {
+            let mut order = Vec::new();
+            while let Ok((from, _)) = net.try_recv(PartyId::Server) {
+                order.push(from);
+            }
+            order
+        };
+        let plain = Network::new(4);
+        plain.send_all(fan()).unwrap();
+        let a = Network::new(4);
+        a.permute_deliveries(7);
+        a.send_all(fan()).unwrap();
+        let b = Network::new(4);
+        b.permute_deliveries(7);
+        b.send_all(fan()).unwrap();
+        // Bytes and message counts are delivery-order-independent.
+        assert_eq!(plain.stats(), a.stats(), "permutation must not change metered traffic");
+        let plain_order = drain(&plain);
+        let a_order = drain(&a);
+        assert_eq!(a_order, drain(&b), "same seed must replay the same delivery order");
+        assert_eq!(plain_order.len(), a_order.len(), "every message still arrives");
+        assert_ne!(plain_order, a_order, "seed 7 actually permutes a 4-message fan-out");
     }
 
     #[test]

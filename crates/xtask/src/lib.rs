@@ -32,13 +32,18 @@
 //! * **L8 `cast-safety`** — narrowing `as` casts on wire/transport paths
 //!   carry an adjacent bounds guard or a justified allow;
 //! * **L9 `layering`** — the crate dependency DAG is enforced at the
-//!   `use`-statement (and qualified-path) level.
+//!   `use`-statement (and qualified-path) level;
+//! * **L10 `protocol-order`** — every send/recv sequence extracted from
+//!   `crates/core/src/trainer.rs` and `crates/vfl/src/transport.rs` is a
+//!   path through the declared protocol state machine in [`protocol`],
+//!   every `Message` variant appears in the machine (drift check), and no
+//!   party sends a variant the machine reserves for the other direction.
 //!
-//! L1–L5 are line-lexer rules. L6–L9 run on the item-level engine: the
+//! L1–L5 are line-lexer rules. L6–L10 run on the item-level engine: the
 //! [`parse`] module's recursive-descent parser extracts items (structs and
 //! enums with field types, fns with bodies, imports), and [`model`] builds
 //! the type-containment and approximate call/reference graphs the
-//! [`passes`] consume.
+//! [`passes`] and [`protocol`] checks consume.
 //!
 //! A finding on line *N* is suppressed by an inline escape hatch on line
 //! *N* or *N−1*:
@@ -58,9 +63,13 @@ use std::path::{Path, PathBuf};
 pub(crate) mod model;
 pub(crate) mod parse;
 pub(crate) mod passes;
+pub mod protocol;
 
-/// The lint rules, L1–L9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The lint rules, L1–L10.
+///
+/// `Ord` follows declaration order (L1 first) and is part of the stable
+/// finding sort, so JSON output is byte-identical across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// L1: panic-freedom of protocol/runtime paths.
     Panic,
@@ -80,6 +89,8 @@ pub enum Rule {
     CastSafety,
     /// L9: the crate dependency DAG admits no upward references.
     Layering,
+    /// L10: trainer/transport send/recv order follows the protocol machine.
+    ProtocolOrder,
 }
 
 impl Rule {
@@ -95,6 +106,7 @@ impl Rule {
             Rule::RngProvenance => "rng-provenance",
             Rule::CastSafety => "cast-safety",
             Rule::Layering => "layering",
+            Rule::ProtocolOrder => "protocol-order",
         }
     }
 
@@ -110,6 +122,7 @@ impl Rule {
             Rule::RngProvenance => "L7/rng-provenance",
             Rule::CastSafety => "L8/cast-safety",
             Rule::Layering => "L9/layering",
+            Rule::ProtocolOrder => "L10/protocol-order",
         }
     }
 }
@@ -219,6 +232,11 @@ pub(crate) struct LexedLine {
     pub(crate) comment: String,
     /// Whether the line sits inside a `#[cfg(test)]` item.
     pub(crate) in_test: bool,
+    /// Contents of string literals that open *and* close on this line, in
+    /// order of appearance. Kept out of `code` so structural scans never see
+    /// literal text; L10 reads them to resolve expected-kind arguments like
+    /// `gather(.., "SynthLogits")`. Multi-line literals are not captured.
+    pub(crate) strings: Vec<String>,
 }
 
 /// One scanned source file: lexed lines plus the parsed item structure the
@@ -255,13 +273,22 @@ pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
     let mut depth: i64 = 0;
     let mut pending_test_attr = false;
     let mut test_depth: Option<i64> = None;
+    // Accumulates the current string literal; captured per line only when
+    // the literal opened on the same line it closes.
+    let mut str_buf = String::new();
+    let mut str_opened_this_line = false;
 
     for raw in source.lines() {
         let bytes: Vec<char> = raw.chars().collect();
         let mut code = String::with_capacity(raw.len());
         let mut comment = String::new();
+        let mut strings = Vec::new();
         let mut i = 0;
         let in_test_at_start = test_depth.is_some();
+        if matches!(mode, Mode::Str | Mode::RawStr(_)) {
+            // The open literal spans lines; spanning literals aren't captured.
+            str_opened_this_line = false;
+        }
         // Pre-scan so `#[cfg(test)] mod t {` on one line still registers
         // before its own `{` is processed.
         if mode == Mode::Code && raw.contains("#[cfg(test)]") {
@@ -286,12 +313,20 @@ pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
                 }
                 Mode::Str => {
                     if bytes[i] == '\\' {
+                        str_buf.push(bytes[i]);
+                        if let Some(&next) = bytes.get(i + 1) {
+                            str_buf.push(next);
+                        }
                         i += 2;
                     } else if bytes[i] == '"' {
                         mode = Mode::Code;
                         code.push('"');
+                        if str_opened_this_line {
+                            strings.push(std::mem::take(&mut str_buf));
+                        }
                         i += 1;
                     } else {
+                        str_buf.push(bytes[i]);
                         i += 1;
                     }
                     continue;
@@ -303,8 +338,12 @@ pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
                     {
                         mode = Mode::Code;
                         code.push('"');
+                        if str_opened_this_line {
+                            strings.push(std::mem::take(&mut str_buf));
+                        }
                         i += 1 + hashes;
                     } else {
+                        str_buf.push(bytes[i]);
                         i += 1;
                     }
                     continue;
@@ -324,6 +363,8 @@ pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
                 '"' => {
                     code.push('"');
                     mode = Mode::Str;
+                    str_buf.clear();
+                    str_opened_this_line = true;
                     i += 1;
                 }
                 'r' if bytes.get(i + 1) == Some(&'"')
@@ -333,6 +374,8 @@ pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
                     let hashes = bytes[i + 1..].iter().take_while(|&&x| x == '#').count();
                     code.push('"');
                     mode = Mode::RawStr(hashes);
+                    str_buf.clear();
+                    str_opened_this_line = true;
                     i += 2 + hashes;
                 }
                 '\'' => {
@@ -381,6 +424,7 @@ pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
             code,
             comment,
             in_test: in_test_at_start || test_depth.is_some() || pending_test_attr,
+            strings,
         });
     }
     out
@@ -652,10 +696,37 @@ pub fn run_lint_timed(root: &Path) -> Result<(Vec<Finding>, Vec<PassTiming>), Li
     timed("L9/layering", &mut timings, &mut findings, |f| {
         passes::lint_layering(&units, f);
     });
+    timed("L10/protocol-order", &mut timings, &mut findings, |f| {
+        protocol::lint_protocol_order(&units, f);
+    });
 
-    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    // Deterministic emission order: (file, line, rule, message). Two runs
+    // over the same tree must produce byte-identical `--json` output.
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
     findings.dedup();
     Ok((findings, timings))
+}
+
+/// The variants of `enum Message` in `crates/vfl/src/wire.rs` under `root`,
+/// in declaration order. Public so the protocol-machine drift test can tie
+/// [`protocol::PROTOCOL_EDGES`] to the real wire format.
+pub fn message_variants(root: &Path) -> Result<Vec<String>, LintError> {
+    let path = root.join("crates/vfl/src/wire.rs");
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| LintError { message: format!("cannot read {}: {e}", path.display()) })?;
+    let ast = parse::parse_file(&lex(&source));
+    Ok(ast
+        .types
+        .iter()
+        .find(|t| t.is_enum && t.name == "Message")
+        .map(|t| t.variants.clone())
+        .unwrap_or_default())
 }
 
 /// L1: deny panicking macros/methods in protocol paths.

@@ -4,11 +4,14 @@
 //! cargo run -p gtv-xtask -- lint [--root <path>] [--json] [--max-ms <n>]
 //! ```
 //!
-//! `lint` runs the GTV static-analysis passes (rules L1–L9, see the crate
+//! `lint` runs the GTV static-analysis passes (rules L1–L10, see the crate
 //! docs) over the workspace and exits non-zero on any finding. `--json`
-//! emits one JSON object per finding on stdout (timings go to stderr);
-//! `--max-ms` additionally fails the run if total analysis wall-time
-//! exceeds the budget, keeping the linter fast enough for pre-commit use.
+//! emits one JSON object per finding on stdout — findings first (sorted by
+//! file, line, rule, so two runs are byte-identical), then one trailing
+//! `{"timings":...}` record so CI artifacts show each pass's cost against
+//! the wall-time budget; `--max-ms` additionally fails the run if total
+//! analysis wall-time exceeds the budget, keeping the linter fast enough
+//! for pre-commit use.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,8 +30,9 @@ fn usage() -> ExitCode {
          L6 privacy-flow  shuffle-seed secrets unreachable from server code and logging sinks\n  \
          L7 rng-provenance  seed_from_u64/from_seed args derive from a seed/round value\n  \
          L8 cast-safety   narrowing casts on wire/transport paths carry a bounds guard\n  \
-         L9 layering      crate imports respect the dependency DAG\n\n\
-         --json     one JSON object per finding on stdout (timings on stderr)\n  \
+         L9 layering      crate imports respect the dependency DAG\n  \
+         L10 protocol-order  trainer/transport send-recv order follows the protocol machine\n\n\
+         --json     one JSON object per finding, then a timings record, on stdout\n  \
          --max-ms   fail if total lint wall-time exceeds <n> milliseconds\n\n\
          Suppress a finding with: // gtv-lint: allow(<rule>) -- <justification>"
     );
@@ -90,6 +94,13 @@ fn main() -> ExitCode {
         for finding in &findings {
             println!("{}", finding.to_json());
         }
+        // Trailing per-pass timings record: CI publishes this file, making
+        // each pass's cost against the 5 s budget visible in the artifact.
+        let passes: Vec<String> = timings
+            .iter()
+            .map(|t| format!("{{\"pass\":\"{}\",\"millis\":{:.2}}}", t.label, t.millis))
+            .collect();
+        println!("{{\"timings\":[{}],\"total_ms\":{total_ms:.2}}}", passes.join(","));
     } else {
         for finding in &findings {
             println!("{finding}");

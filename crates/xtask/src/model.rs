@@ -100,48 +100,47 @@ impl<'a> RefGraph<'a> {
         Self { fns, by_name, by_qualified }
     }
 
+    /// Resolves the call whose callee identifier sits at body index `i` of
+    /// function `idx`, under the conservative rules above. Returns `None`
+    /// when the token is not a call site or the name is ambiguous.
+    pub fn resolve_call_at(&self, idx: usize, i: usize) -> Option<usize> {
+        let body = &self.fns[idx].1.body;
+        let t = body.get(i)?;
+        if t.kind != TokKind::Ident || body.get(i + 1).map(|n| n.text != "(").unwrap_or(true) {
+            return None;
+        }
+        // `Type::name(...)` — resolve through the impl self-type.
+        let qualified = i >= 3
+            && body[i - 1].text == ":"
+            && body[i - 2].text == ":"
+            && body[i - 3].kind == TokKind::Ident;
+        if qualified {
+            let ty = body[i - 3].text.as_str();
+            match self.by_qualified.get(&(ty, t.text.as_str())) {
+                Some(v) if v.len() == 1 => Some(v[0]),
+                _ => None,
+            }
+        } else if !UBIQUITOUS.contains(&t.text.as_str()) {
+            match self.by_name.get(t.text.as_str()) {
+                Some(v) if v.len() == 1 => Some(v[0]),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
     /// Out-edges of `idx`: workspace functions its body provably calls.
     pub fn callees(&self, idx: usize) -> Vec<usize> {
-        let body = &self.fns[idx].1.body;
+        let body_len = self.fns[idx].1.body.len();
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        let mut i = 0;
-        while i < body.len() {
-            let t = &body[i];
-            if t.kind != TokKind::Ident {
-                i += 1;
-                continue;
-            }
-            let is_call = body.get(i + 1).map(|n| n.text == "(").unwrap_or(false);
-            if !is_call {
-                i += 1;
-                continue;
-            }
-            // `Type::name(...)` — resolve through the impl self-type.
-            let qualified = i >= 3
-                && body[i - 1].text == ":"
-                && body[i - 2].text == ":"
-                && body[i - 3].kind == TokKind::Ident;
-            let resolved: Option<usize> = if qualified {
-                let ty = body[i - 3].text.as_str();
-                match self.by_qualified.get(&(ty, t.text.as_str())) {
-                    Some(v) if v.len() == 1 => Some(v[0]),
-                    _ => None,
-                }
-            } else if !UBIQUITOUS.contains(&t.text.as_str()) {
-                match self.by_name.get(t.text.as_str()) {
-                    Some(v) if v.len() == 1 => Some(v[0]),
-                    _ => None,
-                }
-            } else {
-                None
-            };
-            if let Some(r) = resolved {
+        for i in 0..body_len {
+            if let Some(r) = self.resolve_call_at(idx, i) {
                 if r != idx && seen.insert(r) {
                     out.push(r);
                 }
             }
-            i += 1;
         }
         out
     }

@@ -94,7 +94,7 @@ fn sanctioned(unit: &FileUnit) -> bool {
     SANCTIONED_SINK_FILES.contains(&unit.rel_str.as_str())
 }
 
-fn file_stem(unit: &FileUnit) -> &str {
+pub(crate) fn file_stem(unit: &FileUnit) -> &str {
     unit.rel_str.rsplit('/').next().unwrap_or("").trim_end_matches(".rs")
 }
 

@@ -1,0 +1,667 @@
+//! L10 `protocol-order`: the declared GTV message choreography and the
+//! conformance pass that checks trainer/transport code against it.
+//!
+//! The per-round protocol (paper §3.1, DESIGN.md §11) is a fixed state
+//! machine: the server opens a round (`RoundStart`), clients upload the
+//! sampled condition (`CondUpload`, plus the client↔client `IndexShare`
+//! when index sharing is peer-to-peer), the server fans out generator
+//! slices (`GenSlice`), clients score them (`SynthLogits`), a d-step adds
+//! the real-batch pass (`RealLogits` → `GradLogits`) while a g-step closes
+//! with `GradGenSlice`, and synthesis publishes `SyntheticShare` rows. The
+//! shuffle seed (`ShuffleSeedShare`) only ever travels client↔client —
+//! §3.1.5's privacy argument dies if the server sees it.
+//!
+//! The pass extracts per-function send/recv sequences from the protocol
+//! files (`crates/core/src/trainer.rs`, `crates/vfl/src/transport.rs`):
+//! `Message::Variant` tokens in body order, expected-kind string arguments
+//! on `recv_expect`/`gather`/`fan_in` call lines, and — through the
+//! [`RefGraph`] — the sequences of callees defined in protocol files. Each
+//! sequence must be a path through [`PROTOCOL_EDGES`] (simulated as an NFA
+//! whose start set is *every* state, so mid-round helpers check on their
+//! own); every send site whose `PartyId` pair is syntactically visible must
+//! match a declared direction; and `enum Message` in any scanned `wire.rs`
+//! must stay in bijection with the machine's edge labels (drift check,
+//! mirroring L6's registry-drift).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::model::RefGraph;
+use crate::parse::TokKind;
+use crate::passes::file_stem;
+use crate::{suppressed, FileUnit, Finding, Rule};
+
+/// Who may send a message along an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Server → one or all clients.
+    ServerToClient,
+    /// Client → server.
+    ClientToServer,
+    /// Client → client; the server must never be an endpoint.
+    ClientToClient,
+    /// Client → the public sink (synthesis output, not a party inbox).
+    ClientToPublic,
+}
+
+impl Dir {
+    /// Human-readable arrow form for findings.
+    pub fn arrow(self) -> &'static str {
+        match self {
+            Dir::ServerToClient => "server→client",
+            Dir::ClientToServer => "client→server",
+            Dir::ClientToClient => "client→client",
+            Dir::ClientToPublic => "client→public",
+        }
+    }
+
+    /// Whether a concrete `(from, to)` endpoint pair satisfies this
+    /// direction. Endpoints are the `PartyId` variant names.
+    fn admits(self, from: &str, to: &str) -> bool {
+        match self {
+            Dir::ServerToClient => from == "Server" && to == "Client",
+            Dir::ClientToServer => from == "Client" && to == "Server",
+            Dir::ClientToClient => from == "Client" && to == "Client",
+            Dir::ClientToPublic => from == "Client" && to == "Public",
+        }
+    }
+}
+
+/// One transition of the protocol machine.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolEdge {
+    /// Source state.
+    pub from: &'static str,
+    /// The `Message` variant that labels the transition.
+    pub msg: &'static str,
+    /// Who sends it.
+    pub dir: Dir,
+    /// Destination state.
+    pub to: &'static str,
+    /// The round phase the transition belongs to (documentation only).
+    pub phase: &'static str,
+}
+
+/// The states of the per-round machine, `Idle` first.
+pub const PROTOCOL_STATES: &[&str] =
+    &["Idle", "RoundOpen", "Conditioned", "SlicesSent", "SynthScored", "RealScored"];
+
+/// The declared choreography: every `Message` variant appears exactly once
+/// per direction it may travel; trainer/transport sequences must be paths
+/// through this table.
+pub const PROTOCOL_EDGES: &[ProtocolEdge] = &[
+    ProtocolEdge {
+        from: "Idle",
+        msg: "RoundStart",
+        dir: Dir::ServerToClient,
+        to: "RoundOpen",
+        phase: "select",
+    },
+    ProtocolEdge {
+        from: "RoundOpen",
+        msg: "CondUpload",
+        dir: Dir::ClientToServer,
+        to: "Conditioned",
+        phase: "condition",
+    },
+    ProtocolEdge {
+        from: "Conditioned",
+        msg: "IndexShare",
+        dir: Dir::ClientToClient,
+        to: "Conditioned",
+        phase: "condition",
+    },
+    ProtocolEdge {
+        from: "Conditioned",
+        msg: "GenSlice",
+        dir: Dir::ServerToClient,
+        to: "SlicesSent",
+        phase: "forward",
+    },
+    ProtocolEdge {
+        from: "SlicesSent",
+        msg: "SynthLogits",
+        dir: Dir::ClientToServer,
+        to: "SynthScored",
+        phase: "forward",
+    },
+    ProtocolEdge {
+        from: "SynthScored",
+        msg: "RealLogits",
+        dir: Dir::ClientToServer,
+        to: "RealScored",
+        phase: "d-step",
+    },
+    ProtocolEdge {
+        from: "RealScored",
+        msg: "GradLogits",
+        dir: Dir::ServerToClient,
+        to: "Idle",
+        phase: "d-step",
+    },
+    ProtocolEdge {
+        from: "SynthScored",
+        msg: "GradGenSlice",
+        dir: Dir::ServerToClient,
+        to: "Idle",
+        phase: "g-step",
+    },
+    ProtocolEdge {
+        from: "Idle",
+        msg: "ShuffleSeedShare",
+        dir: Dir::ClientToClient,
+        to: "Idle",
+        phase: "shuffle",
+    },
+    ProtocolEdge {
+        from: "Idle",
+        msg: "SyntheticShare",
+        dir: Dir::ClientToPublic,
+        to: "Idle",
+        phase: "publish",
+    },
+];
+
+/// Receive-style calls whose expected-kind argument is a variant-name
+/// string literal on the call line (or its continuation line).
+const RECV_CALLS: &[&str] = &["recv_expect", "gather", "fan_in"];
+
+/// Interprocedural expansion depth cap; the real trainer nests four deep
+/// (`train` → `train_round` → `d_step` → `sample_condition`).
+const MAX_DEPTH: usize = 8;
+
+/// Whether a file participates in the protocol (and is both scanned for
+/// sequences and eligible for callee expansion).
+fn is_protocol_file(unit: &FileUnit) -> bool {
+    let stem = file_stem(unit);
+    stem.contains("trainer") || stem.contains("transport")
+}
+
+/// One protocol operation extracted from a function body: a `Message`
+/// variant observed at a send or recv site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Op {
+    variant: String,
+    /// Index of the op's file in `units` (ops keep their true origin even
+    /// when inlined into a caller's sequence).
+    unit: usize,
+    line: usize,
+}
+
+/// All variant names the machine knows.
+fn machine_variants() -> HashSet<&'static str> {
+    PROTOCOL_EDGES.iter().map(|e| e.msg).collect()
+}
+
+/// L10: protocol-order conformance over trainer/transport files.
+pub(crate) fn lint_protocol_order(units: &[FileUnit], findings: &mut Vec<Finding>) {
+    let graph = RefGraph::build(units);
+    let unit_index: HashMap<*const FileUnit, usize> =
+        units.iter().enumerate().map(|(i, u)| (u as *const FileUnit, i)).collect();
+    let known = machine_variants();
+
+    // Memoized per-function sequences; cycle-guarded via the DFS stack.
+    let mut memo: HashMap<usize, Vec<Op>> = HashMap::new();
+    let mut checked_roots: Vec<usize> = Vec::new();
+    for (idx, &(unit, f)) in graph.fns.iter().enumerate() {
+        if !is_protocol_file(unit) || f.in_test {
+            continue;
+        }
+        checked_roots.push(idx);
+        let mut stack = Vec::new();
+        ops_of(&graph, &unit_index, idx, &known, &mut memo, &mut stack);
+    }
+
+    for &idx in &checked_roots {
+        let ops = collapse(memo.get(&idx).cloned().unwrap_or_default());
+        check_sequence(units, &ops, &known, findings);
+        check_directions(&graph, idx, findings);
+    }
+
+    for (u, unit) in units.iter().enumerate() {
+        if file_stem(unit) == "wire" {
+            check_wire_drift(units, u, &known, findings);
+        }
+    }
+}
+
+/// Extracts the op sequence of function `idx`, expanding callees defined in
+/// protocol files (depth- and cycle-bounded). Results are memoized: a
+/// function's sequence is context-free.
+fn ops_of(
+    graph: &RefGraph<'_>,
+    unit_index: &HashMap<*const FileUnit, usize>,
+    idx: usize,
+    known: &HashSet<&'static str>,
+    memo: &mut HashMap<usize, Vec<Op>>,
+    stack: &mut Vec<usize>,
+) -> Vec<Op> {
+    if let Some(done) = memo.get(&idx) {
+        return done.clone();
+    }
+    if stack.len() >= MAX_DEPTH || stack.contains(&idx) {
+        return Vec::new();
+    }
+    stack.push(idx);
+    let (unit, f) = graph.fns[idx];
+    let u = unit_index[&(unit as *const FileUnit)];
+    let body = &f.body;
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        // `Message::Variant` — a send-site constructor or a recv-side match
+        // pattern; both witness the variant at this point of the sequence.
+        if t.text == "Message"
+            && body.get(i + 1).map(|n| n.text == ":").unwrap_or(false)
+            && body.get(i + 2).map(|n| n.text == ":").unwrap_or(false)
+        {
+            if let Some(v) = body.get(i + 3) {
+                if v.kind == TokKind::Ident
+                    && v.text.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+                {
+                    ops.push(Op { variant: v.text.clone(), unit: u, line: v.line });
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        if t.kind == TokKind::Ident && body.get(i + 1).map(|n| n.text == "(").unwrap_or(false) {
+            // Expected-kind string argument on a receive-style call.
+            if RECV_CALLS.contains(&t.text.as_str()) {
+                if let Some((line, v)) = expected_kind_on(unit, t.line, known) {
+                    ops.push(Op { variant: v, unit: u, line });
+                }
+            }
+            // Descend into workspace callees that live in protocol files.
+            if let Some(callee) = graph.resolve_call_at(idx, i) {
+                if callee != idx && is_protocol_file(graph.fns[callee].0) {
+                    ops.extend(ops_of(graph, unit_index, callee, known, memo, stack));
+                }
+            }
+        }
+        i += 1;
+    }
+    stack.pop();
+    memo.insert(idx, ops.clone());
+    ops
+}
+
+/// The first machine-variant string literal on `line` or the following line
+/// (for calls whose expected-kind argument wraps).
+fn expected_kind_on(
+    unit: &FileUnit,
+    line: usize,
+    known: &HashSet<&'static str>,
+) -> Option<(usize, String)> {
+    for l in [line, line + 1] {
+        let Some(lexed) = unit.lines.get(l - 1) else {
+            continue;
+        };
+        for s in &lexed.strings {
+            if known.contains(s.as_str()) {
+                return Some((l, s.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Drops consecutive duplicate variants: fan-out loops and recv-side match
+/// arms witness the same phase message several times in a row.
+fn collapse(ops: Vec<Op>) -> Vec<Op> {
+    let mut out: Vec<Op> = Vec::new();
+    for op in ops {
+        if out.last().map(|p| p.variant == op.variant).unwrap_or(false) {
+            continue;
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// NFA simulation of one function's sequence over the machine. The start
+/// set is every state, so a helper covering only the middle of a round
+/// checks on its own; an order violation empties the state set.
+fn check_sequence(
+    units: &[FileUnit],
+    ops: &[Op],
+    known: &HashSet<&'static str>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut states: HashSet<&str> = PROTOCOL_STATES.iter().copied().collect();
+    let mut prev: Option<&Op> = None;
+    for op in ops {
+        let unit = &units[op.unit];
+        if !known.contains(op.variant.as_str()) {
+            if !suppressed(&unit.lines, op.line - 1, Rule::ProtocolOrder, &unit.rel, findings) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: op.line,
+                    rule: Rule::ProtocolOrder,
+                    message: format!(
+                        "`Message::{}` does not appear in the declared protocol machine (protocol::PROTOCOL_EDGES)",
+                        op.variant
+                    ),
+                });
+            }
+            // An undeclared message has no edges; skip it rather than
+            // cascade an order finding off the same token.
+            continue;
+        }
+        let next: HashSet<&str> = PROTOCOL_EDGES
+            .iter()
+            .filter(|e| e.msg == op.variant && states.contains(e.from))
+            .map(|e| e.to)
+            .collect();
+        if next.is_empty() {
+            let before = prev.map(|p| p.variant.as_str()).unwrap_or("the round boundary");
+            if !suppressed(&unit.lines, op.line - 1, Rule::ProtocolOrder, &unit.rel, findings) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: op.line,
+                    rule: Rule::ProtocolOrder,
+                    message: format!(
+                        "`{}` cannot follow `{}` on any path through the protocol machine",
+                        op.variant, before
+                    ),
+                });
+            }
+            // One order finding per function: later ops would only echo the
+            // same desynchronization.
+            return;
+        }
+        states = next;
+        prev = Some(op);
+    }
+}
+
+/// Direction conformance for every send site of function `idx` whose
+/// `(from, to)` `PartyId` pair is syntactically visible in the same
+/// expression (the `(from, to, Message::V)` tuple shape used by `send`,
+/// `send_all`, `route` and friends).
+fn check_directions(graph: &RefGraph<'_>, idx: usize, findings: &mut Vec<Finding>) {
+    let (unit, f) = graph.fns[idx];
+    let body = &f.body;
+    for i in 0..body.len() {
+        if body[i].text != "Message"
+            || body.get(i + 1).map(|n| n.text != ":").unwrap_or(true)
+            || body.get(i + 2).map(|n| n.text != ":").unwrap_or(true)
+        {
+            continue;
+        }
+        let Some(v) = body.get(i + 3) else {
+            continue;
+        };
+        if v.kind != TokKind::Ident
+            || !v.text.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+        {
+            continue;
+        }
+        let Some((from, to)) = party_pair_before(body, i) else {
+            continue; // match patterns and bare constructs carry no endpoints
+        };
+        let dirs: Vec<Dir> =
+            PROTOCOL_EDGES.iter().filter(|e| e.msg == v.text).map(|e| e.dir).collect();
+        if dirs.is_empty() {
+            continue; // undeclared variant: the order check already reports it
+        }
+        if dirs.iter().any(|d| d.admits(from, to)) {
+            continue;
+        }
+        if !suppressed(&unit.lines, v.line - 1, Rule::ProtocolOrder, &unit.rel, findings) {
+            let allowed: Vec<&str> = dirs.iter().map(|d| d.arrow()).collect();
+            findings.push(Finding {
+                file: unit.rel.clone(),
+                line: v.line,
+                rule: Rule::ProtocolOrder,
+                message: format!(
+                    "`{}` must not send `Message::{}` to `{}`; the machine admits only {}",
+                    from.to_ascii_lowercase(),
+                    v.text,
+                    to.to_ascii_lowercase(),
+                    allowed.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Walks backwards from the `Message` token at `i` to find the two nearest
+/// `PartyId::X` endpoints in the same expression: `(from, to, Message::V)`.
+/// Returns `(from, to)`. The scan tracks paren depth, only accepts
+/// endpoints at the tuple's own depth, and stops at statement boundaries
+/// (`{`, `}`, `;`) or the expression's opening paren, so a match pattern —
+/// with no endpoints of its own — never inherits endpoints from an earlier
+/// statement.
+fn party_pair_before(body: &[crate::parse::Token], i: usize) -> Option<(&str, &str)> {
+    let mut depth = 0i64;
+    let mut found: Vec<&str> = Vec::new();
+    let mut j = i;
+    let mut steps = 0;
+    while j > 0 && steps < 96 {
+        j -= 1;
+        steps += 1;
+        let t = &body[j];
+        match t.text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth < 0 {
+                    break; // left the enclosing tuple/call expression
+                }
+            }
+            "{" | "}" | ";" if depth == 0 => break,
+            _ if depth == 0 && t.kind == TokKind::Ident => {
+                let qualified = j >= 3
+                    && body[j - 1].text == ":"
+                    && body[j - 2].text == ":"
+                    && body[j - 3].text == "PartyId";
+                if qualified && matches!(t.text.as_str(), "Server" | "Client" | "Public") {
+                    found.push(t.text.as_str());
+                    if found.len() == 2 {
+                        // Nearest endpoint is `to`, the one before it `from`.
+                        return Some((found[1], found[0]));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Drift check tying `enum Message` in a scanned `wire.rs` to the machine:
+/// every variant must label an edge, and every edge label must be a real
+/// variant (mirrors L6's registry-drift shape).
+fn check_wire_drift(
+    units: &[FileUnit],
+    u: usize,
+    known: &HashSet<&'static str>,
+    findings: &mut Vec<Finding>,
+) {
+    let unit = &units[u];
+    for ty in &unit.ast.types {
+        if !ty.is_enum || ty.name != "Message" {
+            continue;
+        }
+        for variant in &ty.variants {
+            if known.contains(variant.as_str()) {
+                continue;
+            }
+            let line = ty
+                .fields
+                .iter()
+                .find(|fd| fd.variant.as_deref() == Some(variant))
+                .map(|fd| fd.line)
+                .unwrap_or(ty.line);
+            if !suppressed(&unit.lines, line - 1, Rule::ProtocolOrder, &unit.rel, findings) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line,
+                    rule: Rule::ProtocolOrder,
+                    message: format!(
+                        "`Message::{variant}` has no edge in the protocol machine; declare its phase in protocol::PROTOCOL_EDGES"
+                    ),
+                });
+            }
+        }
+        let declared: HashSet<&str> = ty.variants.iter().map(|s| s.as_str()).collect();
+        for edge in PROTOCOL_EDGES {
+            if !declared.contains(edge.msg)
+                && !suppressed(&unit.lines, ty.line - 1, Rule::ProtocolOrder, &unit.rel, findings)
+            {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: ty.line,
+                    rule: Rule::ProtocolOrder,
+                    message: format!(
+                        "protocol machine edge `{}` names no `Message` variant; the machine is stale",
+                        edge.msg
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::crate_ident;
+    use crate::{lex, parse};
+    use std::path::PathBuf;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        let lines = lex(src);
+        let ast = parse::parse_file(&lines);
+        FileUnit {
+            rel: PathBuf::from(rel),
+            rel_str: rel.to_string(),
+            crate_ident: crate_ident(rel),
+            lines,
+            ast,
+        }
+    }
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let units = vec![unit("crates/core/src/trainer.rs", src)];
+        let mut findings = Vec::new();
+        lint_protocol_order(&units, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn machine_states_are_closed_under_edges() {
+        for e in PROTOCOL_EDGES {
+            assert!(PROTOCOL_STATES.contains(&e.from), "undeclared state {}", e.from);
+            assert!(PROTOCOL_STATES.contains(&e.to), "undeclared state {}", e.to);
+        }
+    }
+
+    #[test]
+    fn a_full_round_is_a_path() {
+        let src = "impl T { fn round(&self) {\n\
+            let a = (PartyId::Server, PartyId::Client(i), Message::RoundStart { round: 0 });\n\
+            let b = (PartyId::Client(p), PartyId::Server, Message::CondUpload { cv });\n\
+            let c = (PartyId::Server, PartyId::Client(i), Message::GenSlice(m));\n\
+            let d = (PartyId::Client(i), PartyId::Server, Message::SynthLogits(m));\n\
+            let e = (PartyId::Client(i), PartyId::Server, Message::RealLogits(m));\n\
+            let f = (PartyId::Server, PartyId::Client(i), Message::GradLogits(m));\n\
+        } }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn out_of_order_send_is_flagged_once() {
+        let src = "impl T { fn bad(&self) {\n\
+            let c = (PartyId::Server, PartyId::Client(i), Message::GenSlice(m));\n\
+            let a = (PartyId::Server, PartyId::Client(i), Message::RoundStart { round: 0 });\n\
+            let d = (PartyId::Client(i), PartyId::Server, Message::SynthLogits(m));\n\
+        } }\n";
+        let findings = lint(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("`RoundStart` cannot follow `GenSlice`"));
+    }
+
+    #[test]
+    fn wrong_direction_is_flagged() {
+        let src = "impl T { fn bad(&self) {\n\
+            let a = (PartyId::Server, PartyId::Client(0), Message::CondUpload { cv });\n\
+        } }\n";
+        let findings = lint(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("must not send `Message::CondUpload`"));
+        assert!(findings[0].message.contains("client→server"));
+    }
+
+    #[test]
+    fn recv_expected_kind_strings_enter_the_sequence() {
+        let src = "impl T { fn bad(&self) {\n\
+            let a = (PartyId::Server, PartyId::Client(i), Message::RoundStart { round: 0 });\n\
+            let got = self.net.gather(PartyId::Server, &senders, \"SynthLogits\");\n\
+        } }\n";
+        let findings = lint(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("`SynthLogits` cannot follow `RoundStart`"));
+    }
+
+    #[test]
+    fn match_patterns_inherit_no_endpoints() {
+        // A recv-side match arm names a variant with no PartyId pair in the
+        // same statement; the direction check must skip it.
+        let src = "impl T { fn ok(&self) {\n\
+            let m = self.net.recv(PartyId::Server);\n\
+            match m { Message::CondUpload { cv } => cv, _ => v };\n\
+        } }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn callee_sequences_inline_into_callers() {
+        let src = "impl T {\n\
+            fn open(&self) { let a = (PartyId::Server, PartyId::Client(i), Message::RoundStart { round: 0 }); }\n\
+            fn fan(&self) { let c = (PartyId::Server, PartyId::Client(i), Message::GenSlice(m)); }\n\
+            fn round(&self) { self.fan(); self.open(); }\n\
+        }\n";
+        let findings = lint(src);
+        // `fan` then `open` is GenSlice → RoundStart: out of order in the
+        // caller even though each helper is clean on its own.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`RoundStart` cannot follow `GenSlice`"));
+    }
+
+    #[test]
+    fn undeclared_variant_is_reported_not_cascaded() {
+        let src = "impl T { fn bad(&self) {\n\
+            let a = (PartyId::Server, PartyId::Client(i), Message::RoundStart { round: 0 });\n\
+            let x = (PartyId::Client(i), PartyId::Server, Message::MaskedUpload(m));\n\
+            let b = (PartyId::Client(p), PartyId::Server, Message::CondUpload { cv });\n\
+        } }\n";
+        let findings = lint(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`Message::MaskedUpload` does not appear"));
+    }
+
+    #[test]
+    fn wire_drift_is_checked_both_ways() {
+        let src = "pub enum Message {\n\
+            RoundStart { round: u32 },\n\
+            Extra(u8),\n\
+        }\n";
+        let units = vec![unit("crates/vfl/src/wire.rs", src)];
+        let mut findings = Vec::new();
+        lint_protocol_order(&units, &mut findings);
+        assert!(
+            findings.iter().any(|f| f.line == 3 && f.message.contains("`Message::Extra`")),
+            "{findings:?}"
+        );
+        // Nine machine edges name variants the enum lacks.
+        assert_eq!(
+            findings.iter().filter(|f| f.message.contains("the machine is stale")).count(),
+            9,
+            "{findings:?}"
+        );
+    }
+}

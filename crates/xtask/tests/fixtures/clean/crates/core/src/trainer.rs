@@ -1,0 +1,48 @@
+//! Clean fixture: a full d-step/g-step round in declared protocol order,
+//! every send with machine-conformant endpoints, recv sites via
+//! expected-kind strings — L10 must stay quiet.
+
+use gtv_vfl::{Message, Network, PartyId, TransportError};
+
+pub struct Round {
+    net: Network,
+    clients: usize,
+}
+
+impl Round {
+    fn fan_in(&self, expected: &str) -> Result<Vec<Message>, TransportError> {
+        let senders: Vec<PartyId> = (0..self.clients).map(PartyId::Client).collect();
+        self.net.gather(PartyId::Server, &senders, expected)
+    }
+
+    pub fn d_step(&self, cv: Vec<f32>) -> Result<(), TransportError> {
+        for i in 0..self.clients {
+            self.net.send(
+                PartyId::Server,
+                PartyId::Client(i),
+                Message::RoundStart { round: 0 },
+            )?;
+        }
+        self.net.send(PartyId::Client(0), PartyId::Server, Message::CondUpload { cv })?;
+        for i in 0..self.clients {
+            self.net.send(PartyId::Server, PartyId::Client(i), Message::GenSlice(Vec::new()))?;
+        }
+        let _synth = self.fan_in("SynthLogits")?;
+        let _real = self.fan_in("RealLogits")?;
+        for i in 0..self.clients {
+            self.net.send(PartyId::Server, PartyId::Client(i), Message::GradLogits(Vec::new()))?;
+        }
+        Ok(())
+    }
+
+    pub fn publish(&self) -> Result<(), TransportError> {
+        for i in 0..self.clients {
+            self.net.send(
+                PartyId::Client(i),
+                PartyId::Public,
+                Message::SyntheticShare(Vec::new()),
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,9 +1,11 @@
 //! Known-bad fixture: `Message` variants missing encode/decode arms.
 
+// gtv-lint: allow(protocol-order) -- L4 fixture exercises encode/decode arms, not the machine
 pub enum Message {
     RoundStart { round: u64 },
     GenSlice(Vec<f32>),
     ShuffleSeedShare { share: u64 },
+    // gtv-lint: allow(protocol-order) -- deliberately outside the round choreography
     Orphan(u8),
 }
 

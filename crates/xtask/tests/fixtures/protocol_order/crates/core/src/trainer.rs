@@ -1,0 +1,31 @@
+//! Known-bad fixture: three distinct protocol-conformance violations for
+//! L10 — an out-of-order fan-out, a server sending a client-only variant,
+//! and a recv-side phase skip resolved through the expected-kind string.
+
+use gtv_vfl::{Message, Network, PartyId, TransportError};
+
+pub struct Orchestrator {
+    net: Network,
+}
+
+impl Orchestrator {
+    /// Out-of-order: generator slices fan out before the round is opened.
+    pub fn premature_fanout(&self) -> Result<(), TransportError> {
+        self.net.send(PartyId::Server, PartyId::Client(0), Message::GenSlice(Vec::new()))?;
+        self.net.send(PartyId::Server, PartyId::Client(0), Message::RoundStart { round: 0 })?;
+        Ok(())
+    }
+
+    /// Wrong direction: the condition upload is client→server only.
+    pub fn server_sends_upload(&self, cv: Vec<f32>) -> Result<(), TransportError> {
+        self.net.send(PartyId::Server, PartyId::Client(0), Message::CondUpload { cv })?;
+        Ok(())
+    }
+
+    /// Phase skip on the receive side: the server gathers synthetic logits
+    /// straight after opening the round, with no `GenSlice` fan-out.
+    pub fn skip_forward_phase(&self) -> Result<Vec<Message>, TransportError> {
+        self.net.send(PartyId::Server, PartyId::Client(0), Message::RoundStart { round: 0 })?;
+        self.net.gather(PartyId::Server, &[PartyId::Client(0)], "SynthLogits")
+    }
+}

@@ -191,6 +191,54 @@ fn l9_flags_upward_references_in_imports_and_paths() {
 }
 
 #[test]
+fn l10_flags_out_of_order_direction_and_machine_drift() {
+    let findings = lint("protocol_order");
+    assert!(findings.iter().all(|f| f.rule == Rule::ProtocolOrder), "{findings:?}");
+    let locations: Vec<(&str, usize)> =
+        findings.iter().map(|f| (f.file.to_str().unwrap(), f.line)).collect();
+    assert_eq!(
+        locations,
+        vec![
+            // RoundStart sent after the GenSlice fan-out.
+            ("crates/core/src/trainer.rs", 15),
+            // The server sending the client-only condition upload.
+            ("crates/core/src/trainer.rs", 21),
+            // Gathering SynthLogits straight after RoundStart (recv side).
+            ("crates/core/src/trainer.rs", 29),
+            // MaskedUpload has wire arms but no edge in the machine.
+            ("crates/vfl/src/wire.rs", 16),
+        ],
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("`RoundStart` cannot follow `GenSlice`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`server` must not send `Message::CondUpload`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`SynthLogits` cannot follow `RoundStart`")));
+    assert!(findings.iter().any(|f| f
+        .message
+        .contains("`Message::MaskedUpload` has no edge in the protocol machine")));
+}
+
+#[test]
+fn json_output_is_deterministic_and_sorted_across_runs() {
+    let render = |findings: &[Finding]| -> String {
+        findings.iter().map(Finding::to_json).collect::<Vec<_>>().join("\n")
+    };
+    let first = lint("protocol_order");
+    let second = lint("protocol_order");
+    assert!(!first.is_empty(), "the regression needs a fixture with findings");
+    assert_eq!(render(&first), render(&second), "two runs must be byte-identical");
+    let keys: Vec<(String, usize, &'static str)> =
+        first.iter().map(|f| (f.file.display().to_string(), f.line, f.rule.id())).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be sorted by (file, line, rule)");
+}
+
+#[test]
 fn lint_reports_per_pass_timings_within_budget() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
@@ -212,6 +260,7 @@ fn lint_reports_per_pass_timings_within_budget() {
             "L7/rng-provenance",
             "L8/cast-safety",
             "L9/layering",
+            "L10/protocol-order",
         ]
     );
     let total: f64 = timings.iter().map(|t| t.millis).sum();

@@ -1,0 +1,102 @@
+//! Drift tests tying the declared protocol machine to the real wire
+//! format: the machine and `enum Message` must stay in bijection, every
+//! edge must be reachable, and the privacy-critical directions (§3.1.5:
+//! the server never sees the shuffle seed) must hold in the declaration
+//! itself, not just in the code the L10 pass checks against it.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use gtv_xtask::protocol::{Dir, PROTOCOL_EDGES, PROTOCOL_STATES};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn every_edge_connects_declared_states() {
+    let states: HashSet<&str> = PROTOCOL_STATES.iter().copied().collect();
+    for e in PROTOCOL_EDGES {
+        assert!(states.contains(e.from), "edge `{}` leaves undeclared state `{}`", e.msg, e.from);
+        assert!(states.contains(e.to), "edge `{}` enters undeclared state `{}`", e.msg, e.to);
+    }
+}
+
+#[test]
+fn machine_and_wire_enum_are_in_bijection() {
+    let variants = gtv_xtask::message_variants(&workspace_root())
+        .expect("crates/vfl/src/wire.rs should parse");
+    assert!(!variants.is_empty(), "wire.rs must declare enum Message");
+    let declared: HashSet<&str> = variants.iter().map(String::as_str).collect();
+    let machine: HashSet<&str> = PROTOCOL_EDGES.iter().map(|e| e.msg).collect();
+    for v in &declared {
+        assert!(machine.contains(v), "`Message::{v}` has no edge in the protocol machine");
+    }
+    for m in &machine {
+        assert!(declared.contains(m), "machine edge `{m}` names no real Message variant");
+    }
+}
+
+#[test]
+fn every_edge_is_reachable_from_idle() {
+    // BFS over states from Idle; an edge is reachable iff its source is.
+    let mut reached: HashSet<&str> = HashSet::new();
+    reached.insert("Idle");
+    loop {
+        let grown: Vec<&str> = PROTOCOL_EDGES
+            .iter()
+            .filter(|e| reached.contains(e.from) && !reached.contains(e.to))
+            .map(|e| e.to)
+            .collect();
+        if grown.is_empty() {
+            break;
+        }
+        reached.extend(grown);
+    }
+    for state in PROTOCOL_STATES {
+        assert!(reached.contains(state), "state `{state}` is unreachable from Idle");
+    }
+    for e in PROTOCOL_EDGES {
+        assert!(reached.contains(e.from), "edge `{}` can never fire", e.msg);
+    }
+}
+
+#[test]
+fn privacy_critical_directions_hold_in_the_declaration() {
+    for e in PROTOCOL_EDGES {
+        if e.msg == "ShuffleSeedShare" || e.msg == "IndexShare" {
+            assert_eq!(
+                e.dir,
+                Dir::ClientToClient,
+                "`{}` must stay client↔client; the server must never be an endpoint (§3.1.5)",
+                e.msg
+            );
+        }
+    }
+    assert!(
+        PROTOCOL_EDGES
+            .iter()
+            .any(|e| e.msg == "RoundStart" && e.dir == Dir::ServerToClient && e.from == "Idle"),
+        "rounds must open server-side from Idle"
+    );
+}
+
+#[test]
+fn every_variant_has_exactly_one_phase_per_direction() {
+    // The machine is deterministic per (variant, source state): no two
+    // edges may share both label and source, or NFA simulation would hide
+    // a genuine ambiguity in the declaration.
+    let mut seen: HashSet<(&str, &str)> = HashSet::new();
+    for e in PROTOCOL_EDGES {
+        assert!(
+            seen.insert((e.msg, e.from)),
+            "duplicate edge `{}` out of `{}`: the machine must be deterministic",
+            e.msg,
+            e.from
+        );
+    }
+}

@@ -14,16 +14,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 step "gtv-xtask lint"
 # Human-readable pass; --max-ms keeps the analyzer inside the pre-commit
-# loop (the gate fails if the nine passes take more than 5 s total).
+# loop (the gate fails if the ten passes take more than 5 s total).
 cargo run -q -p gtv-xtask -- lint --max-ms 5000
 
 step "gtv-xtask lint --json"
-# Machine-readable annotations (one JSON object per finding).
+# Machine-readable annotations (one JSON object per finding, sorted and
+# byte-stable across runs, followed by a trailing per-pass timings record).
 mkdir -p target
 cargo run -q -p gtv-xtask -- lint --json --max-ms 5000 2>/dev/null | tee target/gtv-lint.json
 
 step "cargo test -q"
 cargo test -q --workspace
+
+step "schedule explorer (protocol-conformance, dynamic half)"
+# The loom-lite explorer over real trainer rounds (DESIGN.md §11): permuted
+# delivery order must leave weights/synthesis bit-identical at 2 and 3
+# parties, the happens-before trace must be clean, and the deadlock /
+# lock-inversion detectors must fire on the intentional fixtures. Already
+# part of the workspace test run above; re-run un-quieted so the gate names
+# each property it proved.
+cargo test -p gtv --test schedule_explorer
 
 step "tensor benchmark (BENCH_tensor.json)"
 # Hot-loop throughput sweep over pool sizes; the artifact records GFLOP/s,
