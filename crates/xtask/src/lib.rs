@@ -37,13 +37,29 @@
 //!   `crates/core/src/trainer.rs` and `crates/vfl/src/transport.rs` is a
 //!   path through the declared protocol state machine in [`protocol`],
 //!   every `Message` variant appears in the machine (drift check), and no
-//!   party sends a variant the machine reserves for the other direction.
+//!   party sends a variant the machine reserves for the other direction;
+//! * **L11 `raw-egress`** — raw feature-column data (partition table
+//!   column accessors) must never reach `Message` construction or a wire
+//!   `encode` sink except through the sanctioned
+//!   `TableTransformer::encode` → activation path (paper §3.1.4);
+//! * **L12 `nondet-flow`** — values from `std::env` (except `GTV_THREADS`
+//!   via the sanctioned thread resolution), wall clocks, thread ids and
+//!   unordered `HashMap`/`HashSet` iteration must never flow into tensor
+//!   kernels, RNG seeds, or wire payloads.
 //!
-//! L1–L5 are line-lexer rules. L6–L10 run on the item-level engine: the
+//! L1–L5 are line-lexer rules. L6–L12 run on the item-level engine: the
 //! [`parse`] module's recursive-descent parser extracts items (structs and
-//! enums with field types, fns with bodies, imports), and [`model`] builds
-//! the type-containment and approximate call/reference graphs the
-//! [`passes`] and [`protocol`] checks consume.
+//! enums with field types, fns with bodies, imports), [`model`] builds
+//! the type-containment and approximate call/reference graphs, and
+//! [`dataflow`] layers flow-sensitive per-function taint tracking with
+//! memoized interprocedural summaries on top (L6's sink half, L7, L11 and
+//! L12 are taint-driven; the name-registry halves of L6 remain as drift
+//! guards).
+//!
+//! Operationally, [`report`] renders findings as SARIF 2.1.0
+//! (`lint --sarif`) and implements the checked-in baseline file
+//! (`lint --baseline <path>` fails only on findings not in the baseline;
+//! `--update-baseline` regenerates it deterministically).
 //!
 //! A finding on line *N* is suppressed by an inline escape hatch on line
 //! *N* or *N−1*:
@@ -60,12 +76,14 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub(crate) mod dataflow;
 pub(crate) mod model;
 pub(crate) mod parse;
 pub(crate) mod passes;
 pub mod protocol;
+pub mod report;
 
-/// The lint rules, L1–L10.
+/// The lint rules, L1–L12.
 ///
 /// `Ord` follows declaration order (L1 first) and is part of the stable
 /// finding sort, so JSON output is byte-identical across runs.
@@ -91,6 +109,10 @@ pub enum Rule {
     Layering,
     /// L10: trainer/transport send/recv order follows the protocol machine.
     ProtocolOrder,
+    /// L11: raw feature columns never reach a wire sink unencoded.
+    RawEgress,
+    /// L12: nondeterministic values never reach kernels, seeds, or wire.
+    NondetFlow,
 }
 
 impl Rule {
@@ -107,6 +129,8 @@ impl Rule {
             Rule::CastSafety => "cast-safety",
             Rule::Layering => "layering",
             Rule::ProtocolOrder => "protocol-order",
+            Rule::RawEgress => "raw-egress",
+            Rule::NondetFlow => "nondet-flow",
         }
     }
 
@@ -123,6 +147,47 @@ impl Rule {
             Rule::CastSafety => "L8/cast-safety",
             Rule::Layering => "L9/layering",
             Rule::ProtocolOrder => "L10/protocol-order",
+            Rule::RawEgress => "L11/raw-egress",
+            Rule::NondetFlow => "L12/nondet-flow",
+        }
+    }
+
+    /// Every rule, in L-number order (drives SARIF rule metadata and the
+    /// usage text; `Ord` matches this order).
+    pub const ALL: [Rule; 12] = [
+        Rule::Panic,
+        Rule::Determinism,
+        Rule::FloatEq,
+        Rule::Wire,
+        Rule::AllowJustification,
+        Rule::PrivacyFlow,
+        Rule::RngProvenance,
+        Rule::CastSafety,
+        Rule::Layering,
+        Rule::ProtocolOrder,
+        Rule::RawEgress,
+        Rule::NondetFlow,
+    ];
+
+    /// One-line rule description (SARIF `shortDescription`).
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::Panic => "no unwrap/expect/panic! in protocol paths",
+            Rule::Determinism => "all randomness, time and threads seeded/deterministic",
+            Rule::FloatEq => "no float-literal equality in metric code",
+            Rule::Wire => "every Message variant has encode and decode arms",
+            Rule::AllowJustification => "every clippy allow carries a justification",
+            Rule::PrivacyFlow => "shuffle-seed material stays off server and logging paths",
+            Rule::RngProvenance => "RNG seeds derive from a seed/round value",
+            Rule::CastSafety => "narrowing casts on wire paths carry bounds guards",
+            Rule::Layering => "crate imports respect the dependency DAG",
+            Rule::ProtocolOrder => "send/recv order follows the protocol machine",
+            Rule::RawEgress => {
+                "raw feature columns reach the wire only as sanctioned encoder activations"
+            }
+            Rule::NondetFlow => {
+                "env/time/thread-id/unordered-iteration values never reach kernels, seeds or wire"
+            }
         }
     }
 }
@@ -161,7 +226,7 @@ impl Finding {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -613,6 +678,27 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, LintError> {
     run_lint_timed(root).map(|(findings, _)| findings)
 }
 
+/// Lexes and item-parses every file in the scan set rooted at `root`.
+pub(crate) fn load_units(root: &Path) -> Result<Vec<FileUnit>, LintError> {
+    let mut units = Vec::new();
+    for path in scan_set(root) {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| LintError { message: format!("cannot read {}: {e}", path.display()) })?;
+        let lines = lex(&source);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let ast = parse::parse_file(&lines);
+        units.push(FileUnit {
+            rel,
+            rel_str: rel_str.clone(),
+            crate_ident: model::crate_ident(&rel_str),
+            lines,
+            ast,
+        });
+    }
+    Ok(units)
+}
+
 /// Runs one pass, recording its wall-time.
 fn timed(
     label: &'static str,
@@ -638,24 +724,18 @@ pub fn run_lint_timed(root: &Path) -> Result<(Vec<Finding>, Vec<PassTiming>), Li
 
     // gtv-lint: allow(determinism) -- self-timing of the analyzer, reporting only
     let load_start = std::time::Instant::now();
-    let mut units = Vec::new();
-    for path in scan_set(root) {
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let source = std::fs::read_to_string(&path)
-            .map_err(|e| LintError { message: format!("cannot read {}: {e}", path.display()) })?;
-        let lines = lex(&source);
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let ast = parse::parse_file(&lines);
-        units.push(FileUnit {
-            rel,
-            rel_str: rel_str.clone(),
-            crate_ident: model::crate_ident(&rel_str),
-            lines,
-            ast,
-        });
-    }
+    let units = load_units(root)?;
     timings
         .push(PassTiming { label: "parse", millis: load_start.elapsed().as_secs_f64() * 1000.0 });
+
+    // The taint engine (def-use chains + memoized interprocedural
+    // summaries) is built once, in its own timed slot, and shared by the
+    // flow-sensitive passes (L6 sink half, L7, L11, L12).
+    let mut engine_slot: Option<dataflow::TaintEngine> = None;
+    timed("dataflow", &mut timings, &mut findings, |_| {
+        engine_slot = Some(dataflow::TaintEngine::build(&units));
+    });
+    let engine = engine_slot.expect("dataflow pass always builds the engine");
 
     timed("L1/panic", &mut timings, &mut findings, |f| {
         for u in &units {
@@ -685,10 +765,10 @@ pub fn run_lint_timed(root: &Path) -> Result<(Vec<Finding>, Vec<PassTiming>), Li
         }
     });
     timed("L6/privacy-flow", &mut timings, &mut findings, |f| {
-        passes::lint_privacy_flow(&units, f);
+        passes::lint_privacy_flow(&units, &engine, f);
     });
     timed("L7/rng-provenance", &mut timings, &mut findings, |f| {
-        passes::lint_rng_provenance(&units, f);
+        passes::lint_rng_provenance(&engine, f);
     });
     timed("L8/cast-safety", &mut timings, &mut findings, |f| {
         passes::lint_cast_safety(&units, f);
@@ -698,6 +778,12 @@ pub fn run_lint_timed(root: &Path) -> Result<(Vec<Finding>, Vec<PassTiming>), Li
     });
     timed("L10/protocol-order", &mut timings, &mut findings, |f| {
         protocol::lint_protocol_order(&units, f);
+    });
+    timed("L11/raw-egress", &mut timings, &mut findings, |f| {
+        dataflow::lint_raw_egress(&engine, f);
+    });
+    timed("L12/nondet-flow", &mut timings, &mut findings, |f| {
+        dataflow::lint_nondet_flow(&engine, f);
     });
 
     // Deterministic emission order: (file, line, rule, message). Two runs

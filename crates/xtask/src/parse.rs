@@ -35,7 +35,8 @@ pub struct Token {
 }
 
 impl Token {
-    fn is(&self, text: &str) -> bool {
+    /// Whether this token's text matches exactly (any kind).
+    pub(crate) fn is(&self, text: &str) -> bool {
         self.text == text
     }
 
@@ -97,9 +98,8 @@ pub struct FnItem {
     pub self_type: Option<String>,
     /// Enclosing inline-module path (file modules come from the file path).
     pub module: Vec<String>,
-    /// Parameter names, in declaration order. Exercised by the parser tests
-    /// and reserved for parameter-provenance refinements of L7.
-    #[allow(dead_code)]
+    /// Parameter names, in declaration order. The dataflow engine seeds
+    /// its taint environment from these (`PARAM(i)` provenance bits).
     pub params: Vec<String>,
     /// Every token of the body block (exclusive of the outer braces).
     pub body: Vec<Token>,

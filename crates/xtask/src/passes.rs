@@ -5,7 +5,8 @@
 //! can reach shuffle-seed material, where RNG seeds come from, which casts
 //! sit on the wire path, and which crates may depend on which.
 
-use crate::model::{secret_carriers, RefGraph};
+use crate::dataflow::{Sink, Taint, TaintEngine};
+use crate::model::secret_carriers;
 use crate::parse::{FnItem, TokKind, Token};
 use crate::{suppressed, FileUnit, Finding, Rule};
 
@@ -32,7 +33,7 @@ pub const SANCTIONED_SINK_FILES: &[&str] = &["crates/vfl/src/shuffle.rs", "crate
 
 /// Logging/IO macros treated as L6 sinks: seed material reaching one of
 /// these would leave the protocol's trust boundary.
-const SINK_MACROS: &[&str] = &[
+pub(crate) const SINK_MACROS: &[&str] = &[
     "println", "print", "eprintln", "eprint", "write", "writeln", "dbg", "info", "warn", "error",
     "debug", "trace",
 ];
@@ -173,9 +174,15 @@ fn lint_registry_drift(units: &[FileUnit], findings: &mut Vec<Finding>) {
 /// server-side function may reach a secret root (directly or through the
 /// call graph), and no function outside the sanctioned path may route seed
 /// material into a logging/IO sink.
-pub fn lint_privacy_flow(units: &[FileUnit], findings: &mut Vec<Finding>) {
+///
+/// The server-reachability and type-containment halves are name-registry
+/// checks (kept as drift guards); the sink half runs on the taint engine:
+/// a logging macro fires only when SECRET-tainted data actually flows into
+/// it (including through `{ident}` format-string interpolation), not
+/// merely when a secret root is named somewhere in the same function.
+pub fn lint_privacy_flow(units: &[FileUnit], engine: &TaintEngine, findings: &mut Vec<Finding>) {
     lint_registry_drift(units, findings);
-    let graph = RefGraph::build(units);
+    let graph = &engine.graph;
     let carriers = secret_carriers(units, SECRET_ROOT_TYPES);
 
     for (idx, (unit, f)) in graph.fns.iter().enumerate() {
@@ -228,37 +235,29 @@ pub fn lint_privacy_flow(units: &[FileUnit], findings: &mut Vec<Finding>) {
                 }
             }
         }
-        // Sink check: seed-handling functions must not log or write.
+        // Sink check, on taint flows: a logging macro is a finding only
+        // when SECRET-tainted data actually reaches it.
         if sanctioned(unit) {
             continue;
         }
-        let shuffle_roots: Vec<&str> = SECRET_ROOT_FNS
-            .iter()
-            .chain(SECRET_ROOT_TYPES)
-            .chain(&["ShuffleSeedShare"])
-            .copied()
-            .collect();
-        let Some(root) = shuffle_roots.iter().find(|r| f.references(r)) else {
-            continue;
-        };
-        let sink = f.body.windows(2).find(|w| {
-            w[0].kind == TokKind::Ident
-                && SINK_MACROS.contains(&w[0].text.as_str())
-                && w[1].text == "!"
-        });
-        if let Some(w) = sink {
-            let line = w[0].line;
-            if !suppressed(&unit.lines, line - 1, Rule::PrivacyFlow, &unit.rel, findings) {
-                findings.push(Finding {
-                    file: unit.rel.clone(),
-                    line,
-                    rule: Rule::PrivacyFlow,
-                    message: format!(
-                        "`{}!` inside `{}`, which handles shuffle-seed material (`{root}`); seed material must never reach logging/IO",
-                        w[0].text, f.name
-                    ),
-                });
+        let analysis = &engine.analyses[idx];
+        for hit in &analysis.hits {
+            if hit.kind != Sink::Log || !hit.taint.contains(Taint::SECRET) {
+                continue;
             }
+            if suppressed(&unit.lines, hit.line - 1, Rule::PrivacyFlow, &unit.rel, findings) {
+                continue;
+            }
+            let root = analysis.note(Taint::SECRET).unwrap_or("shuffle-seed material");
+            findings.push(Finding {
+                file: unit.rel.clone(),
+                line: hit.line,
+                rule: Rule::PrivacyFlow,
+                message: format!(
+                    "`{}!` inside `{}`, which handles shuffle-seed material (`{root}`); seed material must never reach logging/IO",
+                    hit.detail, f.name
+                ),
+            });
         }
     }
 }
@@ -267,78 +266,40 @@ pub fn lint_privacy_flow(units: &[FileUnit], findings: &mut Vec<Finding>) {
 // L7 rng-provenance
 // ---------------------------------------------------------------------------
 
-/// L7: every RNG seeding call outside tests/bench must derive its seed from
-/// a value *named* as one — a config field, parameter or round counter
-/// containing `seed` or `round` — never a bare literal or ambient value.
-pub fn lint_rng_provenance(units: &[FileUnit], findings: &mut Vec<Finding>) {
-    for unit in units {
-        if unit.rel_str.starts_with("crates/bench/") {
+/// L7: every RNG seeding call outside tests/bench must derive its seed
+/// from a seed/round value. Provenance is taint-based: the SEED bit roots
+/// at any name containing `seed`/`round` and propagates through lets,
+/// assignments and function returns, so `let s = cfg.seed; seed_from_u64(s)`
+/// passes where the old name-at-the-call-site rule could not see the flow.
+/// Strictly more precise than the registry check: every previously
+/// accepted call still passes (a seed-named arg roots SEED directly).
+pub fn lint_rng_provenance(engine: &TaintEngine, findings: &mut Vec<Finding>) {
+    for (idx, (unit, f)) in engine.graph.fns.iter().enumerate() {
+        if unit.rel_str.starts_with("crates/bench/") || f.in_test {
             continue;
         }
-        for f in &unit.ast.fns {
-            if f.in_test {
+        let analysis = &engine.analyses[idx];
+        for hit in &analysis.hits {
+            // `via` hits are a callee's ctor reported at our call site; the
+            // callee judges its own call under its own parameters.
+            if hit.kind != Sink::Seed || hit.via.is_some() {
                 continue;
             }
-            let body = &f.body;
-            let mut i = 0;
-            while i < body.len() {
-                let t = &body[i];
-                let is_ctor = t.kind == TokKind::Ident
-                    && (t.text == "seed_from_u64" || t.text == "from_seed")
-                    && body.get(i + 1).map(|n| n.text == "(").unwrap_or(false);
-                if !is_ctor {
-                    i += 1;
-                    continue;
-                }
-                // Capture the argument tokens.
-                let mut depth = 0i64;
-                let mut j = i + 1;
-                let mut args: Vec<&Token> = Vec::new();
-                while j < body.len() {
-                    match body[j].text.as_str() {
-                        "(" => depth += 1,
-                        ")" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    if depth >= 1 && body[j].text != "(" {
-                        args.push(&body[j]);
-                    }
-                    j += 1;
-                }
-                let derived = args.iter().any(|a| {
-                    a.kind == TokKind::Ident && {
-                        let lower = a.text.to_lowercase();
-                        lower.contains("seed") || lower.contains("round")
-                    }
-                });
-                if !derived
-                    && !suppressed(
-                        &unit.lines,
-                        t.line - 1,
-                        Rule::RngProvenance,
-                        &unit.rel,
-                        findings,
-                    )
-                {
-                    let preview: String =
-                        args.iter().map(|a| a.text.as_str()).collect::<Vec<_>>().join(" ");
-                    findings.push(Finding {
-                        file: unit.rel.clone(),
-                        line: t.line,
-                        rule: Rule::RngProvenance,
-                        message: format!(
-                            "`{}({preview})` does not derive from a seed/round value; thread a config `seed` or round counter through (or `// gtv-lint: allow(rng-provenance) -- why`)",
-                            t.text
-                        ),
-                    });
-                }
-                i = j.max(i + 1);
+            if hit.taint.contains(Taint::SEED) {
+                continue;
             }
+            if suppressed(&unit.lines, hit.line - 1, Rule::RngProvenance, &unit.rel, findings) {
+                continue;
+            }
+            findings.push(Finding {
+                file: unit.rel.clone(),
+                line: hit.line,
+                rule: Rule::RngProvenance,
+                message: format!(
+                    "`{}` does not derive from a seed/round value; thread a config `seed` or round counter through (or `// gtv-lint: allow(rng-provenance) -- why`)",
+                    hit.detail
+                ),
+            });
         }
     }
 }

@@ -1,0 +1,185 @@
+//! Finding reports beyond plain text: SARIF 2.1.0 export and the
+//! checked-in baseline (suppression) file.
+//!
+//! Both renderings are deliberately byte-stable: findings arrive already
+//! sorted by (file, line, rule, message), nothing here injects wall-clock
+//! values, and the JSON is hand-assembled in a fixed key order — two
+//! consecutive `lint --sarif` or `lint --json --baseline` runs over the
+//! same tree produce identical bytes, which is what lets CI diff
+//! consecutive outputs as a determinism check.
+//!
+//! The baseline file is one [`Finding::to_json`] line per accepted
+//! finding, with `#` comment lines for the header. Matching is
+//! line-number-insensitive (the `"line":N,` field is stripped from the
+//! comparison key) so pure drift — code above a known finding growing or
+//! shrinking — does not invalidate the baseline, while multiset counting
+//! still flags a *second* identical finding in the same file as fresh.
+
+use crate::{Finding, Rule};
+
+/// How a lint run relates to a baseline file.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by the baseline — these fail the run.
+    pub fresh: Vec<Finding>,
+    /// Count of findings matched (suppressed) by baseline entries.
+    pub matched: usize,
+    /// Baseline entries no longer produced by the analyzer; prune with
+    /// `--update-baseline`.
+    pub stale: usize,
+}
+
+/// The comparison key of one baseline/finding line: the JSON rendering
+/// with the volatile `"line":N,` field removed.
+fn baseline_key(json_line: &str) -> String {
+    let Some(start) = json_line.find("\"line\":") else {
+        return json_line.to_string();
+    };
+    let rest = &json_line[start + 7..];
+    let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    let after = &rest[digits..];
+    let after = after.strip_prefix(',').unwrap_or(after);
+    format!("{}{}", &json_line[..start], after)
+}
+
+/// Renders the baseline file for `findings` (header + one JSON line each).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("# gtv-xtask lint baseline: accepted findings, one JSON line each.\n");
+    out.push_str("# Matching ignores the \"line\" field; regenerate with\n");
+    out.push_str("#   cargo run -p gtv-xtask -- lint --baseline <this file> --update-baseline\n");
+    for f in findings {
+        out.push_str(&f.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits `findings` into fresh vs. baseline-matched under the baseline
+/// file `text`. Matching is multiset: each baseline entry suppresses at
+/// most one finding, so a duplicated regression still surfaces.
+pub fn apply_baseline(findings: &[Finding], text: &str) -> BaselineOutcome {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *counts.entry(baseline_key(line)).or_insert(0) += 1;
+    }
+    let mut outcome = BaselineOutcome::default();
+    for f in findings {
+        let key = baseline_key(&f.to_json());
+        match counts.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                outcome.matched += 1;
+            }
+            _ => outcome.fresh.push(f.clone()),
+        }
+    }
+    outcome.stale = counts.values().sum();
+    outcome
+}
+
+/// Renders `findings` as a SARIF 2.1.0 log (one run, one result per
+/// finding, rule metadata for all 12 rules in L-number order).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"gtv-xtask\",\"rules\":[");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            rule.id(),
+            rule.label(),
+            crate::json_escape(rule.description()),
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index =
+            Rule::ALL.iter().position(|r| *r == f.rule).expect("Rule::ALL covers every rule");
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"ruleIndex\":{rule_index},\"level\":\"error\",\
+             \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":\
+             {{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            f.rule.id(),
+            crate::json_escape(&f.message),
+            crate::json_escape(&f.file.display().to_string().replace('\\', "/")),
+            f.line,
+        ));
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(path: &str, line: usize, rule: Rule, message: &str) -> Finding {
+        Finding { file: PathBuf::from(path), line, rule, message: message.to_string() }
+    }
+
+    #[test]
+    fn baseline_matching_ignores_line_numbers() {
+        let old = finding("crates/a/src/x.rs", 10, Rule::Panic, "`unwrap` in protocol path");
+        let moved = finding("crates/a/src/x.rs", 42, Rule::Panic, "`unwrap` in protocol path");
+        let text = render_baseline(std::slice::from_ref(&old));
+        let outcome = apply_baseline(std::slice::from_ref(&moved), &text);
+        assert!(outcome.fresh.is_empty(), "{:?}", outcome.fresh);
+        assert_eq!(outcome.matched, 1);
+        assert_eq!(outcome.stale, 0);
+    }
+
+    #[test]
+    fn baseline_is_multiset_and_tracks_stale() {
+        let f = finding("crates/a/src/x.rs", 3, Rule::Panic, "m");
+        let text = render_baseline(std::slice::from_ref(&f));
+        // Two identical findings against one baseline entry: one fresh.
+        let outcome = apply_baseline(&[f.clone(), f.clone()], &text);
+        assert_eq!(outcome.matched, 1);
+        assert_eq!(outcome.fresh.len(), 1);
+        // No findings at all: the entry is stale.
+        let outcome = apply_baseline(&[], &text);
+        assert_eq!(outcome.stale, 1);
+    }
+
+    #[test]
+    fn baseline_round_trip_is_byte_stable() {
+        let fs = vec![
+            finding("crates/a/src/x.rs", 1, Rule::RawEgress, "raw \"column\" egress"),
+            finding("crates/b/src/y.rs", 9, Rule::NondetFlow, "nondet"),
+        ];
+        let text = render_baseline(&fs);
+        assert_eq!(text, render_baseline(&fs), "rendering must be deterministic");
+        let outcome = apply_baseline(&fs, &text);
+        assert!(outcome.fresh.is_empty());
+        assert_eq!(outcome.matched, 2);
+        assert_eq!(outcome.stale, 0);
+    }
+
+    #[test]
+    fn sarif_lists_all_rules_and_escapes_messages() {
+        let fs = vec![finding("crates/a/src/x.rs", 5, Rule::NondetFlow, "a \"quoted\" msg")];
+        let sarif = to_sarif(&fs);
+        for rule in Rule::ALL {
+            assert!(sarif.contains(&format!("\"id\":\"{}\"", rule.id())), "{}", rule.id());
+        }
+        assert!(sarif.contains("\"ruleIndex\":11"));
+        assert!(sarif.contains("a \\\"quoted\\\" msg"));
+        assert!(sarif.contains("\"startLine\":5"));
+        assert!(sarif.ends_with("\n"));
+        assert_eq!(sarif, to_sarif(&fs), "SARIF must be byte-stable");
+    }
+}

@@ -1,0 +1,45 @@
+//! Known-bad fixture: ambient nondeterminism flowing into RNG seeds,
+//! tensor kernels, and wire payloads (L12).
+
+pub fn env_seed() -> u64 {
+    let knob = std::env::var("GTV_EXPERIMENT").unwrap_or_default();
+    let seed = digest(knob);
+    let rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn thread_scaled(m: &Tensor) -> Tensor {
+    let id = std::thread::current().id().as_u64();
+    scale_rows(m, id)
+}
+
+pub fn unordered_payload(pairs: &[(String, u32)], net: &Network) {
+    let mut counts = HashMap::new();
+    for (name, n) in pairs {
+        counts.insert(name.clone(), n);
+    }
+    let mut out = Vec::new();
+    for (name, n) in counts.iter() {
+        out.push(pack(name, n));
+    }
+    net.send(Message::CondUpload(out));
+}
+
+pub fn ordered_payload(pairs: &[(String, u32)], net: &Network) {
+    let mut counts = HashMap::new();
+    for (name, n) in pairs {
+        counts.insert(name.clone(), n);
+    }
+    let mut out = Vec::new();
+    for (name, n) in counts.iter() {
+        out.push(pack(name, n));
+    }
+    out.sort_unstable();
+    net.send(Message::CondUpload(out));
+}
+
+pub fn suppressed_host_probe(m: &Tensor) -> Tensor {
+    let lanes = std::thread::available_parallelism();
+    // gtv-lint: allow(nondet-flow) -- lane count only pads the batch, results are masked back
+    scale_rows(m, lanes)
+}

@@ -1,0 +1,11 @@
+//! Fixture kernels: the L12 kernel-sink targets.
+
+pub fn scale_rows(m: &Tensor, factor: u64) -> Tensor {
+    let out = m.clone();
+    out.scale(factor);
+    out
+}
+
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    a.dot(b)
+}

@@ -251,6 +251,7 @@ fn lint_reports_per_pass_timings_within_budget() {
         labels,
         vec![
             "parse",
+            "dataflow",
             "L1/panic",
             "L2/determinism",
             "L3/float-eq",
@@ -261,10 +262,55 @@ fn lint_reports_per_pass_timings_within_budget() {
             "L8/cast-safety",
             "L9/layering",
             "L10/protocol-order",
+            "L11/raw-egress",
+            "L12/nondet-flow",
         ]
     );
     let total: f64 = timings.iter().map(|t| t.millis).sum();
     assert!(total < 5000.0, "lint must stay inside the pre-commit budget: {total:.1} ms");
+    for t in &timings {
+        assert!(t.millis < 4000.0, "pass {} blew its per-pass budget: {:.1} ms", t.label, t.millis);
+    }
+}
+
+#[test]
+fn l11_flags_raw_column_egress_through_flows_not_names() {
+    let findings = lint("l11_egress");
+    assert!(findings.iter().all(|f| f.rule == Rule::RawEgress), "{findings:?}");
+    // leak_direct, leak_rebound (let-rebinding), leak_field (field
+    // projection), leak_via_return (interprocedural summary),
+    // leak_through_encode_call (wire-encode sink); the sanctioned-encoder
+    // paths and the justified allow stay quiet.
+    assert_eq!(lines_for(&findings, Rule::RawEgress), vec![5, 11, 17, 26, 31], "{findings:?}");
+}
+
+#[test]
+fn l12_flags_nondeterminism_reaching_seeds_kernels_and_wire() {
+    let findings = lint("l12_nondet");
+    assert!(findings.iter().all(|f| f.rule == Rule::NondetFlow), "{findings:?}");
+    // env-derived seed, thread-id into a kernel, HashMap-iteration order
+    // into a wire payload; the sorted payload and the justified allow stay
+    // quiet.
+    assert_eq!(lines_for(&findings, Rule::NondetFlow), vec![7, 13, 25], "{findings:?}");
+}
+
+#[test]
+fn sarif_output_is_byte_stable_across_runs() {
+    let sarif = gtv_xtask::report::to_sarif(&lint("l11_egress"));
+    assert_eq!(sarif, gtv_xtask::report::to_sarif(&lint("l11_egress")));
+    assert!(sarif.contains("\"ruleId\":\"raw-egress\""), "{sarif}");
+    assert!(sarif.contains("\"name\":\"L12/nondet-flow\""), "{sarif}");
+}
+
+#[test]
+fn baseline_round_trip_suppresses_known_findings_byte_stably() {
+    let findings = lint("l12_nondet");
+    let text = gtv_xtask::report::render_baseline(&findings);
+    assert_eq!(text, gtv_xtask::report::render_baseline(&lint("l12_nondet")));
+    let outcome = gtv_xtask::report::apply_baseline(&findings, &text);
+    assert!(outcome.fresh.is_empty(), "{:?}", outcome.fresh);
+    assert_eq!(outcome.matched, findings.len());
+    assert_eq!(outcome.stale, 0);
 }
 
 #[test]

@@ -13,15 +13,34 @@ step "cargo clippy --workspace --all-targets"
 cargo clippy --workspace --all-targets -- -D warnings
 
 step "gtv-xtask lint"
-# Human-readable pass; --max-ms keeps the analyzer inside the pre-commit
-# loop (the gate fails if the ten passes take more than 5 s total).
-cargo run -q -p gtv-xtask -- lint --max-ms 5000
+# Human-readable pass against the checked-in baseline; the wall-time budget
+# is split: 8 s total for the twelve passes plus the dataflow build, and no
+# single pass (the taint engine is the heaviest) may take more than 4 s.
+cargo run -q -p gtv-xtask -- lint --baseline tools/lint-baseline.json \
+    --max-ms 8000 --max-pass-ms 4000
 
 step "gtv-xtask lint --json"
 # Machine-readable annotations (one JSON object per finding, sorted and
-# byte-stable across runs, followed by a trailing per-pass timings record).
+# byte-stable across runs). Stderr carries the timings record and goes to
+# its own log — swallowing it with 2>/dev/null would hide analyzer crashes.
 mkdir -p target
-cargo run -q -p gtv-xtask -- lint --json --max-ms 5000 2>/dev/null | tee target/gtv-lint.json
+if ! cargo run -q -p gtv-xtask -- lint --json --baseline tools/lint-baseline.json \
+        --max-ms 8000 --max-pass-ms 4000 \
+        2>target/gtv-lint.stderr.log | tee target/gtv-lint.json; then
+    echo "gtv-xtask lint --json failed; stderr follows" >&2
+    cat target/gtv-lint.stderr.log >&2
+    exit 1
+fi
+
+step "gtv-xtask lint --sarif (determinism check)"
+# SARIF artifact for annotation tooling; two consecutive runs must be
+# byte-identical — any diff means nondeterminism crept into the analyzer.
+cargo run -q -p gtv-xtask -- lint --sarif --baseline tools/lint-baseline.json \
+    2>/dev/null >target/gtv-lint.sarif
+cargo run -q -p gtv-xtask -- lint --sarif --baseline tools/lint-baseline.json \
+    2>/dev/null >target/gtv-lint.sarif.2
+cmp target/gtv-lint.sarif target/gtv-lint.sarif.2
+rm target/gtv-lint.sarif.2
 
 step "cargo test -q"
 cargo test -q --workspace
