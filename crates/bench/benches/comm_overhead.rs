@@ -2,7 +2,7 @@
 //! round-trips on the metered network.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gtv_vfl::{MatrixPayload, Message, Network, PartyId};
+use gtv_vfl::{MatrixPayload, Message, Network, PartyId, Transport};
 use std::hint::black_box;
 
 fn bench_wire(c: &mut Criterion) {

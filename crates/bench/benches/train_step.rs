@@ -7,7 +7,9 @@ use gtv_vfl::PartitionPlan;
 
 fn trainer(partition: NetPartition) -> GtvTrainer {
     let table = Dataset::Loan.generate(400, 0);
-    let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(table.n_cols(), None, None);
+    let groups = PartitionPlan::Even { n_clients: 2 }
+        .column_groups(table.n_cols(), None, None)
+        .expect("valid partition");
     let config = GtvConfig {
         partition,
         rounds: 0,

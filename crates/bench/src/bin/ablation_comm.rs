@@ -7,11 +7,13 @@
 use gtv::{GtvConfig, GtvTrainer, NetPartition};
 use gtv_bench::report::MarkdownTable;
 use gtv_data::Dataset;
-use gtv_vfl::PartitionPlan;
+use gtv_vfl::{PartitionPlan, Transport};
 
 fn bytes_per_round(n_clients: usize, partition: NetPartition, faithful: bool) -> (f64, f64) {
     let table = Dataset::Adult.generate(300, 0);
-    let groups = PartitionPlan::Even { n_clients }.column_groups(table.n_cols(), None, None);
+    let groups = PartitionPlan::Even { n_clients }
+        .column_groups(table.n_cols(), None, None)
+        .expect("valid partition");
     let shards = table.vertical_split(&groups);
     let config = GtvConfig {
         partition,

@@ -33,7 +33,9 @@ fn main() {
     println!("# Membership-inference attack (loan stand-in)\n");
     let table = Dataset::Loan.generate(scale.rows, 0);
     let (train, holdout) = table.train_test_split(0.5, 1);
-    let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(table.n_cols(), None, None);
+    let groups = PartitionPlan::Even { n_clients: 2 }
+        .column_groups(table.n_cols(), None, None)
+        .expect("valid partition");
     let mut trainer = GtvTrainer::new(train.vertical_split(&groups), base(0));
     trainer.train().expect("GTV protocol transport failed");
     let synth = trainer.synthesize(train.n_rows(), 2).expect("GTV protocol transport failed");
@@ -74,11 +76,9 @@ fn main() {
     println!("# Future work: boosting the small client's network at 9010\n");
     let ranking = importance_ranking(&table, ShapleyConfig { seed: 7, ..Default::default() });
     let target = table.schema().target().expect("loan has a target");
-    let groups_9010 = PartitionPlan::ByImportance { important_frac: 0.9 }.column_groups(
-        table.n_cols(),
-        Some(target),
-        Some(&ranking),
-    );
+    let groups_9010 = PartitionPlan::ByImportance { important_frac: 0.9 }
+        .column_groups(table.n_cols(), Some(target), Some(&ranking))
+        .expect("valid partition");
     let order: Vec<usize> = groups_9010.iter().flatten().copied().collect();
     let train_o = train.select_columns(&order);
     let mut t = MarkdownTable::new(["configuration", "avg JSD", "avg WD", "diff corr"]);

@@ -15,7 +15,7 @@
 //! byte counts are identical every round modulo sampled conditions, so
 //! they are averaged over all measured rounds).
 
-use gtv::{GtvConfig, GtvTrainer};
+use gtv::{GtvConfig, GtvTrainer, Transport};
 use gtv_data::Dataset;
 use std::time::Instant;
 

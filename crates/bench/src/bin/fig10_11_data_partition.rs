@@ -61,11 +61,9 @@ fn main() {
         for (ds, ranking, target) in &rankings {
             let n = ds.generate(4, 0).n_cols();
             for (si, (sname, frac)) in splits.iter().enumerate() {
-                let groups = PartitionPlan::ByImportance { important_frac: *frac }.column_groups(
-                    n,
-                    Some(*target),
-                    Some(ranking),
-                );
+                let groups = PartitionPlan::ByImportance { important_frac: *frac }
+                    .column_groups(n, Some(*target), Some(ranking))
+                    .expect("valid partition");
                 let r = run_gtv(*ds, &groups, partition, scale.width, scale);
                 fig.row([
                     ds.name().to_string(),

@@ -54,7 +54,8 @@ fn main() {
                 for ds in Dataset::all() {
                     let n = ds.generate(4, 0).n_cols();
                     let groups = PartitionPlan::RandomEven { n_clients, seed: 11 }
-                        .column_groups(n, None, None);
+                        .column_groups(n, None, None)
+                        .expect("valid partition");
                     let r = run_gtv(ds, &groups, partition, width, scale);
                     corr_row.push(f3(r.diff_corr));
                     per_ds.push(r);

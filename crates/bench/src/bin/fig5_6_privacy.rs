@@ -10,7 +10,9 @@ use gtv_vfl::PartitionPlan;
 
 fn attack(ds: Dataset, shuffling: bool, scale: ExperimentScale) -> (f64, usize) {
     let table = ds.generate(scale.rows.min(400), 0);
-    let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(table.n_cols(), None, None);
+    let groups = PartitionPlan::Even { n_clients: 2 }
+        .column_groups(table.n_cols(), None, None)
+        .expect("valid partition");
     let shards = table.vertical_split(&groups);
     let config = GtvConfig {
         rounds: scale.rounds.min(150),

@@ -47,7 +47,9 @@ fn main() {
             .iter()
             .map(|&ds| {
                 let n = ds.generate(4, 0).n_cols();
-                let groups = PartitionPlan::Even { n_clients: 2 }.column_groups(n, None, None);
+                let groups = PartitionPlan::Even { n_clients: 2 }
+                    .column_groups(n, None, None)
+                    .expect("valid partition");
                 run_gtv(ds, &groups, partition, scale.width, scale)
             })
             .collect();

@@ -16,7 +16,8 @@ use gtv::{GtvConfig, GtvTrainer, NetPartition};
 use gtv_data::{from_csv_string, infer_schema, to_csv_string, Dataset, Table};
 use gtv_metrics::similarity;
 use gtv_ml::utility_difference;
-use gtv_vfl::PartitionPlan;
+use gtv_vfl::{Endpoint, PartitionPlan, PartyId, PartyNode, SocketTransport, Transport};
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -30,6 +31,10 @@ USAGE:
                    [--pipelined true|false] [--sparse-wire true] [--comms-stats true]
   gtv-cli evaluate --real FILE --synth FILE --target COL [--seed S]
   gtv-cli privacy  --input FILE [--rounds R] [--clients N]
+  gtv-cli serve-party  --party <server|public|CLIENT_IDX> --listen <host:port|unix:PATH>
+  gtv-cli serve-server --input FILE --parties IDX=ENDPOINT[,IDX=ENDPOINT…] --out FILE
+                       [--target COL] [--clients N] [--rounds R] [--batch B] [--width W]
+                       [--partition d2g0|d2g2] [--seed S] [--sparse-wire true]
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +55,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "synth" => synth(&args),
         "evaluate" => evaluate(&args),
         "privacy" => privacy(&args),
+        "serve-party" => serve_party(&args),
+        "serve-server" => serve_server(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -184,7 +191,9 @@ fn synth(args: &Args) -> Result<(), String> {
     let n_clients = args.parsed_or("clients", 2usize).map_err(|e| e.to_string())?;
     let comms_stats = args.parsed_or("comms-stats", false).map_err(|e| e.to_string())?;
     let config = build_config(args)?;
-    let groups = PartitionPlan::Even { n_clients }.column_groups(table.n_cols(), None, None);
+    let groups = PartitionPlan::Even { n_clients }
+        .column_groups(table.n_cols(), None, None)
+        .map_err(|e| e.to_string())?;
     let shards = table.vertical_split(&groups);
     println!(
         "training GTV ({} clients, partition {}, {} rounds) on {} rows × {} cols…",
@@ -273,7 +282,9 @@ fn privacy(args: &Args) -> Result<(), String> {
         load_table(args.required("input").map_err(|e| e.to_string())?, args.optional("target"))?;
     let n_clients = args.parsed_or("clients", 2usize).map_err(|e| e.to_string())?;
     let rounds = args.parsed_or("rounds", 100usize).map_err(|e| e.to_string())?;
-    let groups = PartitionPlan::Even { n_clients }.column_groups(table.n_cols(), None, None);
+    let groups = PartitionPlan::Even { n_clients }
+        .column_groups(table.n_cols(), None, None)
+        .map_err(|e| e.to_string())?;
     for shuffling in [false, true] {
         let config =
             GtvConfig { rounds, block_width: 64, embedding_dim: 32, ..GtvConfig::default() };
@@ -291,9 +302,108 @@ fn privacy(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_party(spec: &str) -> Result<PartyId, String> {
+    match spec {
+        "server" => Ok(PartyId::Server),
+        "public" => Ok(PartyId::Public),
+        n => n
+            .parse::<usize>()
+            .map(PartyId::Client)
+            .map_err(|_| format!("invalid party '{spec}' (use server, public, or a client index)")),
+    }
+}
+
+/// Parses `--parties 0=127.0.0.1:7000,1=unix:/tmp/p1.sock` into a roster of
+/// remote endpoints for [`SocketTransport::connect`].
+fn parse_parties(spec: &str) -> Result<HashMap<PartyId, Endpoint>, String> {
+    let mut endpoints = HashMap::new();
+    for entry in spec.split(',').filter(|s| !s.is_empty()) {
+        let (party, endpoint) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("invalid --parties entry '{entry}' (use PARTY=ENDPOINT)"))?;
+        if endpoints.insert(parse_party(party)?, Endpoint::parse(endpoint)).is_some() {
+            return Err(format!("party '{party}' listed twice in --parties"));
+        }
+    }
+    if endpoints.is_empty() {
+        return Err("--parties must name at least one PARTY=ENDPOINT pair".to_string());
+    }
+    Ok(endpoints)
+}
+
+/// Runs one party's inbox daemon until the process is killed: the
+/// distributed deployment's per-organization process.
+fn serve_party(args: &Args) -> Result<(), String> {
+    let party = parse_party(args.required("party").map_err(|e| e.to_string())?)?;
+    let listen = Endpoint::parse(args.required("listen").map_err(|e| e.to_string())?);
+    let node = PartyNode::bind(party, &listen).map_err(|e| e.to_string())?;
+    println!("party {party} listening on {} (Ctrl-C to stop)", node.endpoint());
+    node.serve().map_err(|e| e.to_string())
+}
+
+/// Orchestrates a training run whose parties are separate OS processes
+/// (started with `serve-party`), reached over TCP or Unix-domain sockets.
+fn serve_server(args: &Args) -> Result<(), String> {
+    let input = args.required("input").map_err(|e| e.to_string())?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let endpoints = parse_parties(args.required("parties").map_err(|e| e.to_string())?)?;
+    let table = load_table(input, args.optional("target"))?;
+    let n_clients = args.parsed_or("clients", 2usize).map_err(|e| e.to_string())?;
+    let config = build_config(args)?;
+    let groups = PartitionPlan::Even { n_clients }
+        .column_groups(table.n_cols(), None, None)
+        .map_err(|e| e.to_string())?;
+    let shards = table.vertical_split(&groups);
+    println!("connecting to {} remote parties ({} clients total)…", endpoints.len(), n_clients);
+    let transport = SocketTransport::connect(n_clients, endpoints).map_err(|e| e.to_string())?;
+    println!(
+        "training GTV over sockets (partition {}, {} rounds) on {} rows × {} cols…",
+        config.partition,
+        config.rounds,
+        table.n_rows(),
+        table.n_cols()
+    );
+    let mut trainer =
+        GtvTrainer::with_transport(shards, config, transport).map_err(|e| e.to_string())?;
+    trainer.train().map_err(|e| e.to_string())?;
+    let synthetic = trainer.synthesize(table.n_rows(), 1).map_err(|e| e.to_string())?;
+    let order: Vec<usize> = groups.iter().flatten().copied().collect();
+    let mut inverse = vec![0usize; order.len()];
+    for (pos, &col) in order.iter().enumerate() {
+        inverse[col] = pos;
+    }
+    let synthetic = synthetic.select_columns(&inverse);
+    std::fs::write(out, to_csv_string(&synthetic)).map_err(|e| e.to_string())?;
+    let stats = trainer.network_stats();
+    println!("wrote {} synthetic rows to {out}", synthetic.n_rows());
+    println!(
+        "protocol traffic: {} messages, {:.1} MiB",
+        stats.messages,
+        stats.bytes as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn party_and_roster_specs_parse() {
+        assert_eq!(parse_party("server").unwrap(), PartyId::Server);
+        assert_eq!(parse_party("public").unwrap(), PartyId::Public);
+        assert_eq!(parse_party("3").unwrap(), PartyId::Client(3));
+        assert!(parse_party("client-3").is_err());
+        let roster = parse_parties("0=127.0.0.1:7000,1=unix:/tmp/p1.sock").unwrap();
+        assert_eq!(roster[&PartyId::Client(0)], Endpoint::Tcp("127.0.0.1:7000".to_string()));
+        assert_eq!(
+            roster[&PartyId::Client(1)],
+            Endpoint::Unix(std::path::PathBuf::from("/tmp/p1.sock"))
+        );
+        assert!(parse_parties("").is_err());
+        assert!(parse_parties("0=a:1,0=b:2").is_err());
+        assert!(parse_parties("nope").is_err());
+    }
 
     #[test]
     fn dataset_lookup() {

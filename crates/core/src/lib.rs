@@ -50,6 +50,10 @@ pub use privacy::{
     column_truths, ClientIndexObserver, ColumnTruth, ReconstructionReport, ServerObserver,
 };
 pub use trainer::{GtvTrainer, StepAllocStats, TrainHistory};
-// The protocol error surface, re-exported so downstream users of the
-// trainer can match on it without depending on gtv-vfl directly.
-pub use gtv_vfl::TransportError;
+// The transport seam and protocol error surface, re-exported so downstream
+// users of the trainer can build distributed deployments and match on
+// protocol errors without depending on gtv-vfl directly.
+pub use gtv_vfl::{
+    Endpoint, InProcTransport, PartitionError, PartyNode, SocketTransport, Transport,
+    TransportError,
+};

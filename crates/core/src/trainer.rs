@@ -18,7 +18,7 @@ use gtv_encoders::TableTransformer;
 use gtv_nn::{Adam, Ctx};
 use gtv_tensor::{Graph, Tensor, Var};
 use gtv_vfl::{
-    negotiate_seed, MatrixPayload, Message, NetStats, Network, PartyId, SharedShuffler,
+    negotiate_seed, MatrixPayload, Message, NetStats, Network, PartyId, SharedShuffler, Transport,
     TransportError, WireCodec,
 };
 use rand::rngs::StdRng;
@@ -82,7 +82,14 @@ struct CondRound {
 /// let synthetic = trainer.synthesize(200, 1).expect("transport is healthy");
 /// assert_eq!(synthetic.n_rows(), 200);
 /// ```
-pub struct GtvTrainer {
+///
+/// The trainer is generic over its [`Transport`] backend:
+/// [`GtvTrainer::new`] runs everything in-process over [`Network`], while
+/// [`GtvTrainer::with_transport`] accepts any backend — e.g. a
+/// [`gtv_vfl::SocketTransport`] whose client parties are separate OS
+/// processes. The protocol choreography (and therefore the byte trace) is
+/// identical either way.
+pub struct GtvTrainer<T: Transport = Network> {
     config: GtvConfig,
     clients: Vec<ClientState>,
     initial_tables: Vec<Table>,
@@ -90,7 +97,7 @@ pub struct GtvTrainer {
     discriminator: SplitDiscriminator,
     g_opt: Adam,
     d_opt: Adam,
-    network: Network,
+    network: T,
     shuffler: SharedShuffler,
     layout: CondLayout,
     ratios: Vec<f64>,
@@ -108,7 +115,7 @@ pub struct GtvTrainer {
     rng: StdRng,
 }
 
-impl std::fmt::Debug for GtvTrainer {
+impl<T: Transport> std::fmt::Debug for GtvTrainer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -126,13 +133,42 @@ fn payload_of(t: &Tensor) -> MatrixPayload {
 }
 
 impl GtvTrainer {
-    /// Creates a trainer from the clients' (row-aligned) local tables.
+    /// Creates an in-process trainer from the clients' (row-aligned) local
+    /// tables.
     ///
     /// # Panics
     ///
     /// Panics if `tables` is empty, row counts differ, or any table is
     /// empty.
     pub fn new(tables: Vec<Table>, config: GtvConfig) -> Self {
+        let network = Network::new(tables.len());
+        Self::with_transport(tables, config, network)
+            // gtv-lint: allow(panic) -- fresh in-process network, all inboxes open, no faults armed yet
+            .expect("seed negotiation on a fresh network")
+    }
+}
+
+impl<T: Transport> GtvTrainer<T> {
+    /// Creates a trainer over an arbitrary [`Transport`] backend — the
+    /// distributed entry point. With a [`gtv_vfl::SocketTransport`], the
+    /// client parties' inboxes live in other OS processes and every
+    /// protocol message genuinely crosses the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] from the construction-time
+    /// shuffle-seed negotiation (e.g. a party that is unreachable or
+    /// disconnects during the exchange).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty, row counts differ, or any table is
+    /// empty.
+    pub fn with_transport(
+        tables: Vec<Table>,
+        config: GtvConfig,
+        network: T,
+    ) -> Result<Self, TransportError> {
         assert!(!tables.is_empty(), "need at least one client table");
         // Size the tensor worker pool before any hot-loop work; results are
         // bit-identical for every thread count (DESIGN.md §8), and so is
@@ -192,20 +228,17 @@ impl GtvTrainer {
         let g_opt = Adam::new(gtv_nn::Module::params(&generator), config.adam);
         let d_opt = Adam::new(gtv_nn::Module::params(&discriminator), config.adam);
 
-        let network = Network::new(n_clients);
         if config.sparse_wire {
             network.set_codec(WireCodec::Adaptive);
         }
         // Clients negotiate the shared shuffle seed peer-to-peer; the server
         // never observes it (§3.1.5).
-        let seeds = negotiate_seed(&network, n_clients, config.seed.wrapping_add(7))
-            // gtv-lint: allow(panic) -- fresh in-process network, all inboxes open, no faults armed yet
-            .expect("seed negotiation on a fresh network");
+        let seeds = negotiate_seed(&network, n_clients, config.seed.wrapping_add(7))?;
         let shuffler = SharedShuffler::new(seeds[0]);
 
         let observer = ServerObserver::new(n_rows, layout.total_width());
         let client_observers = (0..n_clients).map(|_| ClientIndexObserver::new(n_rows)).collect();
-        Self {
+        Ok(Self {
             config,
             initial_tables: tables,
             clients,
@@ -227,7 +260,7 @@ impl GtvTrainer {
             round: 0,
             step: 0,
             rng,
-        }
+        })
     }
 
     /// Number of clients.
@@ -240,8 +273,8 @@ impl GtvTrainer {
         &self.config
     }
 
-    /// The metered network (inspect traffic with [`Network::stats`]).
-    pub fn network(&self) -> &Network {
+    /// The metered transport (inspect traffic with [`Transport::stats`]).
+    pub fn network(&self) -> &T {
         &self.network
     }
 

@@ -28,7 +28,7 @@ use std::time::Duration;
 use gtv::{GtvConfig, GtvTrainer};
 use gtv_data::{Dataset, Table};
 use gtv_tensor::pool;
-use gtv_vfl::{Network, PartyId};
+use gtv_vfl::{Network, PartyId, Transport};
 
 /// Serializes tests that touch the global `sched` registry.
 fn serial() -> MutexGuard<'static, ()> {

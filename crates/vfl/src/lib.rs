@@ -4,8 +4,11 @@
 //!
 //! * [`wire`](crate::Message) — a byte-exact encoding of every protocol
 //!   message, so communication volume is measured from real serialization;
-//! * [`Network`] — in-process transport with per-link byte metering and
-//!   party inboxes (server, clients, public board);
+//! * [`Transport`] — the backend-agnostic transport seam, with two
+//!   implementations: [`InProcTransport`] (alias [`Network`]) over channels
+//!   with per-link byte metering, and [`SocketTransport`] speaking
+//!   length-delimited wire-v2 frames over TCP / Unix-domain sockets to
+//!   per-party [`PartyNode`] daemons;
 //! * [`psi_align`] — hashed private-set-intersection row alignment;
 //! * [`negotiate_seed`] / [`SharedShuffler`] — the peer-to-peer shuffle-seed
 //!   agreement behind *training-with-shuffling* (the server never observes
@@ -17,7 +20,7 @@
 //! # Examples
 //!
 //! ```
-//! use gtv_vfl::{negotiate_seed, Network, SharedShuffler};
+//! use gtv_vfl::{negotiate_seed, Network, SharedShuffler, Transport};
 //!
 //! let net = Network::new(2);
 //! let seeds = negotiate_seed(&net, 2, 42).expect("transport is healthy");
@@ -32,11 +35,15 @@
 mod partition;
 mod psi;
 mod shuffle;
+pub mod socket;
 mod transport;
 mod wire;
 
-pub use partition::{ratio_vector, split_widths, PartitionPlan};
+pub use partition::{ratio_vector, split_widths, PartitionError, PartitionPlan};
 pub use psi::{psi_align, PsiAlignment};
 pub use shuffle::{negotiate_seed, round_seed, SharedShuffler};
-pub use transport::{Fault, NetStats, Network, PartyId, RoundStats, TransportError};
+pub use socket::{Endpoint, PartyNode, SocketTransport};
+pub use transport::{
+    Fault, InProcTransport, NetStats, Network, PartyId, RoundStats, Transport, TransportError,
+};
 pub use wire::{DecodeMessageError, MatrixPayload, Message, WireCodec};

@@ -7,7 +7,7 @@
 //! server). Each round's permutation is derived from `(base_seed, round)`,
 //! so all clients apply the identical permutation and stay row-aligned.
 
-use crate::transport::{Network, PartyId, TransportError};
+use crate::transport::{PartyId, Transport, TransportError};
 use crate::wire::Message;
 use gtv_data::Table;
 use rand::rngs::StdRng;
@@ -28,8 +28,8 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 ///
 /// Panics if `n_clients == 0`.
-pub fn negotiate_seed(
-    net: &Network,
+pub fn negotiate_seed<T: Transport>(
+    net: &T,
     n_clients: usize,
     rng_seed: u64,
 ) -> Result<Vec<u64>, TransportError> {
@@ -105,6 +105,7 @@ impl SharedShuffler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Network;
     use gtv_data::Dataset;
 
     #[test]

@@ -1,16 +1,27 @@
-//! In-process transport with per-link byte accounting.
+//! Party-to-party message transport with per-link byte accounting.
 //!
-//! Every protocol exchange is *actually encoded to bytes*, metered, decoded
-//! and delivered to the recipient's inbox, so communication-overhead numbers
-//! come from the same code path as the training itself. Inboxes are
-//! crossbeam channels, usable both from a single-threaded orchestrator and
-//! from parties running on their own threads.
+//! The [`Transport`] trait is the seam between the GTV protocol and the
+//! medium carrying it: every protocol exchange is *actually encoded to
+//! bytes*, metered, decoded and delivered to the recipient's inbox, so
+//! communication-overhead numbers come from the same code path as the
+//! training itself. Two backends implement it:
+//!
+//! * [`InProcTransport`] (aliased as [`Network`]) — crossbeam-channel
+//!   inboxes, usable both from a single-threaded orchestrator and from
+//!   parties running on their own threads;
+//! * [`SocketTransport`](crate::SocketTransport) — length-delimited wire
+//!   frames over TCP or Unix-domain sockets, for parties running as their
+//!   own OS processes.
+//!
+//! Byte accounting is identical across backends: both meter the encoded
+//! message body only (framing overhead is a property of the medium, not the
+//! protocol), through the same [`Meter`] bookkeeping.
 
 use crate::wire::{DecodeMessageError, Message, WireCodec};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,9 +47,34 @@ pub enum TransportError {
         party: PartyId,
         /// How long the receive waited before giving up.
         waited: Duration,
+        /// The round window open when the wait expired (the label of the
+        /// last [`Transport::begin_round`] call), if any — so a hung party
+        /// is diagnosable from the error alone.
+        round: Option<u64>,
+        /// The message variant the stalled protocol step was waiting for,
+        /// if the receive came from `recv_expect`/`gather`.
+        expecting: Option<&'static str>,
     },
     /// A message failed to round-trip through its wire encoding.
     Decode(DecodeMessageError),
+    /// The link to a party closed mid-protocol: the peer process crashed,
+    /// its socket hit EOF/reset, or a [`Fault::Disconnect`] was injected.
+    PeerDisconnected {
+        /// The party whose link died.
+        party: PartyId,
+    },
+    /// Connection setup failed: the peer rejected our protocol/wire
+    /// version, spoke garbage during the hello exchange, or never answered.
+    HandshakeFailed {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// A malformed transport frame (socket backend): bad opcode, truncated
+    /// body, or a length prefix exceeding the framing bound.
+    Frame {
+        /// What was wrong with the frame.
+        detail: String,
+    },
     /// A protocol step received a message it has no handler for.
     UnexpectedMessage {
         /// Sender of the offending message.
@@ -61,6 +97,20 @@ pub enum TransportError {
     },
 }
 
+impl TransportError {
+    /// Annotates a [`TransportError::Timeout`] with the message variant the
+    /// caller was waiting for; every other variant passes through unchanged.
+    #[must_use]
+    pub fn with_expecting(self, kind: &'static str) -> Self {
+        match self {
+            TransportError::Timeout { party, waited, round, .. } => {
+                TransportError::Timeout { party, waited, round, expecting: Some(kind) }
+            }
+            other => other,
+        }
+    }
+}
+
 impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -68,10 +118,24 @@ impl fmt::Display for TransportError {
             TransportError::UnknownParty(p) => write!(f, "unknown party {p}"),
             TransportError::InboxClosed(p) => write!(f, "inbox of {p} is closed"),
             TransportError::InboxEmpty(p) => write!(f, "inbox of {p} is empty"),
-            TransportError::Timeout { party, waited } => {
-                write!(f, "no message for {party} within {waited:?}")
+            TransportError::Timeout { party, waited, round, expecting } => {
+                write!(f, "no message for {party} within {waited:?}")?;
+                if let Some(r) = round {
+                    write!(f, " during round {r}")?;
+                }
+                if let Some(kind) = expecting {
+                    write!(f, " while expecting {kind}")?;
+                }
+                Ok(())
             }
             TransportError::Decode(e) => write!(f, "wire round-trip failed: {e}"),
+            TransportError::PeerDisconnected { party } => {
+                write!(f, "link to {party} is disconnected")
+            }
+            TransportError::HandshakeFailed { reason } => {
+                write!(f, "transport handshake failed: {reason}")
+            }
+            TransportError::Frame { detail } => write!(f, "malformed transport frame: {detail}"),
             TransportError::UnexpectedMessage { from, context, got } => {
                 write!(f, "unexpected message from {from} during {context}: {got:?}")
             }
@@ -118,7 +182,7 @@ impl fmt::Display for PartyId {
     }
 }
 
-/// Traffic counters for one training round (see [`Network::begin_round`]).
+/// Traffic counters for one training round (see [`Transport::begin_round`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// The round label the orchestrator opened this window with.
@@ -158,7 +222,7 @@ pub struct NetStats {
     pub bytes: u64,
     /// Per-(from, to) message and byte counts.
     pub per_link: HashMap<(PartyId, PartyId), (u64, u64)>,
-    /// Per-round breakdown: one entry per [`Network::begin_round`] call,
+    /// Per-round breakdown: one entry per [`Transport::begin_round`] call,
     /// accumulating all traffic until the next call. Traffic before the
     /// first `begin_round` (e.g. seed negotiation) is counted only in the
     /// cumulative totals.
@@ -181,9 +245,89 @@ impl NetStats {
     }
 }
 
-struct Inboxes {
-    senders: HashMap<PartyId, Sender<(PartyId, Message)>>,
-    receivers: HashMap<PartyId, Receiver<(PartyId, Message)>>,
+/// Shared metering/configuration state used by every [`Transport`] backend:
+/// cumulative and per-round traffic counters, the wire codec in effect and
+/// the bounded-receive deadline. Keeping this in one struct is what makes
+/// the backend-equivalence argument mechanical — both backends account
+/// bytes through the exact same code.
+pub(crate) struct Meter {
+    stats: Mutex<NetStats>,
+    codec: Mutex<WireCodec>,
+    recv_timeout: Mutex<Duration>,
+}
+
+impl fmt::Debug for Meter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats.lock();
+        write!(f, "Meter({} msgs, {} bytes)", s.messages, s.bytes)
+    }
+}
+
+impl Meter {
+    pub(crate) fn new() -> Self {
+        Self {
+            stats: Mutex::new(NetStats::default()),
+            codec: Mutex::new(WireCodec::Dense),
+            recv_timeout: Mutex::new(DEFAULT_RECV_TIMEOUT),
+        }
+    }
+
+    /// Accounts one `len`-byte message on the `(from, to)` link, in both the
+    /// cumulative counters and the open round window (if any).
+    pub(crate) fn record(&self, from: PartyId, to: PartyId, len: usize) {
+        let mut stats = self.stats.lock();
+        stats.messages += 1;
+        stats.bytes += len as u64;
+        let entry = stats.per_link.entry((from, to)).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += len as u64;
+        if let Some(round) = stats.rounds.last_mut() {
+            round.messages += 1;
+            round.bytes += len as u64;
+            let entry = round.per_link.entry((from, to)).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += len as u64;
+        }
+    }
+
+    pub(crate) fn begin_round(&self, round: u64) {
+        self.stats.lock().rounds.push(RoundStats { round, ..RoundStats::default() });
+    }
+
+    /// The label of the currently open round window, if any.
+    pub(crate) fn current_round(&self) -> Option<u64> {
+        self.stats.lock().rounds.last().map(|r| r.round)
+    }
+
+    pub(crate) fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+
+    pub(crate) fn reset(&self) {
+        *self.stats.lock() = NetStats::default();
+    }
+
+    pub(crate) fn codec(&self) -> WireCodec {
+        *self.codec.lock()
+    }
+
+    pub(crate) fn set_codec(&self, codec: WireCodec) {
+        *self.codec.lock() = codec;
+    }
+
+    pub(crate) fn recv_timeout_bound(&self) -> Duration {
+        *self.recv_timeout.lock()
+    }
+
+    pub(crate) fn set_recv_timeout(&self, timeout: Duration) {
+        *self.recv_timeout.lock() = timeout;
+    }
+
+    /// The [`TransportError::Timeout`] for a wait that expired now, stamped
+    /// with the open round window.
+    pub(crate) fn timeout_error(&self, party: PartyId, waited: Duration) -> TransportError {
+        TransportError::Timeout { party, waited, round: self.current_round(), expecting: None }
+    }
 }
 
 /// A fault to inject into the next matching send (test instrumentation).
@@ -193,13 +337,193 @@ pub enum Fault {
     Drop,
     /// Deliver the message twice.
     Duplicate,
+    /// Close the link to the recipient: the triggering send fails with
+    /// [`TransportError::PeerDisconnected`], and every later operation
+    /// involving that party keeps failing the same way — modelling a peer
+    /// process that crashed mid-round.
+    Disconnect,
 }
 
-/// Default bound on how long [`Network::recv`] waits for a message.
+/// Default bound on how long [`Transport::recv`] waits for a message.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(1);
 
+/// The message-transport seam between the GTV protocol and the medium
+/// carrying it.
+///
+/// Implementations must meter every sent message through the same byte
+/// accounting (the encoded body's length, nothing more), so [`NetStats`]
+/// are comparable — and testably identical — across backends.
+pub trait Transport {
+    /// Encodes `msg`, meters it and delivers it to `to`'s inbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::UnknownRecipient`] if `to` has no inbox,
+    /// [`TransportError::PeerDisconnected`] if the link to either end is
+    /// closed, or [`TransportError::Decode`] if the message fails to
+    /// round-trip through its own wire encoding.
+    fn send(&self, from: PartyId, to: PartyId, msg: Message) -> Result<(), TransportError>;
+
+    /// Pops the next message from `party`'s inbox without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::InboxEmpty`] if the inbox is empty or
+    /// [`TransportError::UnknownParty`] if `party` has no inbox.
+    fn try_recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError>;
+
+    /// Pops the next message, waiting up to `timeout` for one to arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Timeout`] (stamped with the open round
+    /// window) if no message arrives in time, plus every backend-specific
+    /// link failure.
+    fn recv_timeout(
+        &self,
+        party: PartyId,
+        timeout: Duration,
+    ) -> Result<(PartyId, Message), TransportError>;
+
+    /// The bound [`Transport::recv`] waits before reporting
+    /// [`TransportError::Timeout`] (default [`DEFAULT_RECV_TIMEOUT`]).
+    fn recv_timeout_bound(&self) -> Duration;
+
+    /// Sets the bound [`Transport::recv`] waits before reporting
+    /// [`TransportError::Timeout`].
+    fn set_recv_timeout(&self, timeout: Duration);
+
+    /// The wire codec in effect.
+    fn codec(&self) -> WireCodec;
+
+    /// Selects how matrix payloads are encoded on the wire (default
+    /// [`WireCodec::Dense`]). Lossless either way — only byte counts change.
+    fn set_codec(&self, codec: WireCodec);
+
+    /// Opens a new per-round traffic window labelled `round`: all traffic
+    /// until the next call accumulates into one [`RoundStats`] entry of
+    /// [`NetStats::rounds`] (cumulative counters are unaffected).
+    fn begin_round(&self, round: u64);
+
+    /// Snapshot of the traffic counters.
+    fn stats(&self) -> NetStats;
+
+    /// Resets the traffic counters (e.g. between measurement phases).
+    fn reset_stats(&self);
+
+    /// Delivers one fan-out of pre-addressed messages, metered and delivered
+    /// **in input order** — the wire trace is byte-identical to sending the
+    /// same list through [`Transport::send`] one at a time (backends may
+    /// parallelize the encoding, never the accounting order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Transport::send`]; delivery stops at the first
+    /// failing message.
+    fn send_all(&self, msgs: Vec<(PartyId, PartyId, Message)>) -> Result<(), TransportError> {
+        for (from, to, msg) in msgs {
+            self.send(from, to, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Pops the next message, waiting up to the configured receive timeout
+    /// for one to arrive.
+    ///
+    /// Unlike [`Transport::try_recv`] this tolerates a sender running on
+    /// another thread/process that has not delivered *yet*; a genuinely
+    /// dropped or mis-sequenced message still surfaces, as
+    /// [`TransportError::Timeout`], once the bounded wait expires.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Transport::recv_timeout`].
+    fn recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
+        self.recv_timeout(party, self.recv_timeout_bound())
+    }
+
+    /// [`Transport::recv`], additionally checking the popped message is the
+    /// `expected` variant ([`Message::kind`]).
+    ///
+    /// Protocol steps that consume a message they already know the shape of
+    /// must use this instead of discarding a bare `recv` result: a
+    /// desynchronized peer then surfaces as a
+    /// [`TransportError::ProtocolViolation`] at the step that noticed,
+    /// instead of silently corrupting a later phase.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ProtocolViolation`] on a variant mismatch, plus
+    /// every [`Transport::recv`] condition (timeouts are annotated with the
+    /// expected variant).
+    fn recv_expect(
+        &self,
+        party: PartyId,
+        expected: &'static str,
+    ) -> Result<(PartyId, Message), TransportError> {
+        let (from, msg) = self.recv(party).map_err(|e| e.with_expecting(expected))?;
+        if msg.kind() != expected {
+            return Err(TransportError::ProtocolViolation { from, expected, got: msg });
+        }
+        Ok((from, msg))
+    }
+
+    /// Fan-in: pops one `expected`-variant message from each of `senders`
+    /// at `at`'s inbox and returns them **in `senders` order**, regardless
+    /// of arrival order. This is what keeps the pipelined schedule
+    /// observation-identical to lockstep: the server processes replies in
+    /// fixed party order even if clients finished out of order.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::UnexpectedMessage`] on a message from a party not
+    /// in `senders` (or a duplicate), [`TransportError::ProtocolViolation`]
+    /// on a variant mismatch, plus every [`Transport::recv`] condition
+    /// (timeouts are annotated with the expected variant).
+    fn gather(
+        &self,
+        at: PartyId,
+        senders: &[PartyId],
+        expected: &'static str,
+    ) -> Result<Vec<Message>, TransportError> {
+        let mut slots: Vec<Option<Message>> = vec![None; senders.len()];
+        for _ in 0..senders.len() {
+            let (from, msg) = self.recv(at).map_err(|e| e.with_expecting(expected))?;
+            let Some(pos) = senders.iter().position(|&s| s == from) else {
+                return Err(TransportError::UnexpectedMessage {
+                    from,
+                    context: "gather: sender not in the fan-in set",
+                    got: msg,
+                });
+            };
+            if slots[pos].is_some() {
+                return Err(TransportError::UnexpectedMessage {
+                    from,
+                    context: "gather: duplicate sender",
+                    got: msg,
+                });
+            }
+            if msg.kind() != expected {
+                return Err(TransportError::ProtocolViolation { from, expected, got: msg });
+            }
+            slots[pos] = Some(msg);
+        }
+        // n distinct senders filled n slots; collect() is total here.
+        slots.into_iter().collect::<Option<Vec<_>>>().ok_or(TransportError::InboxEmpty(at))
+    }
+}
+
+struct Inboxes {
+    senders: HashMap<PartyId, Sender<(PartyId, Message)>>,
+    receivers: HashMap<PartyId, Receiver<(PartyId, Message)>>,
+    /// Parties whose link a [`Fault::Disconnect`] closed: their channel
+    /// halves are gone, and every operation involving them reports
+    /// [`TransportError::PeerDisconnected`].
+    dead: HashSet<PartyId>,
+}
+
 /// Seeded Fisher–Yates permuter over fan-out delivery order; one fresh
-/// permutation per [`Network::send_all`] call, derived from (seed, call
+/// permutation per [`Transport::send_all`] call, derived from (seed, call
 /// counter) via splitmix64 so a run is reproducible from its seed alone.
 #[derive(Debug)]
 struct Permuter {
@@ -229,24 +553,28 @@ impl Permuter {
     }
 }
 
-/// The simulated network connecting server, clients and the public board.
-pub struct Network {
-    stats: Mutex<NetStats>,
+/// The in-process [`Transport`] backend connecting server, clients and the
+/// public board through crossbeam-channel inboxes.
+pub struct InProcTransport {
+    meter: Meter,
     inboxes: Mutex<Inboxes>,
     faults: Mutex<Vec<(PartyId, PartyId, Fault)>>,
-    recv_timeout: Mutex<Duration>,
-    codec: Mutex<WireCodec>,
     permuter: Mutex<Option<Permuter>>,
 }
 
-impl fmt::Debug for Network {
+/// The historical name of [`InProcTransport`], kept as an alias: existing
+/// orchestration code and docs talk about "the network", and the default
+/// trainer backend is still the in-process one.
+pub type Network = InProcTransport;
+
+impl fmt::Debug for InProcTransport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = self.stats.lock();
-        write!(f, "Network({} msgs, {} bytes)", s.messages, s.bytes)
+        let s = self.meter.stats();
+        write!(f, "InProcTransport({} msgs, {} bytes)", s.messages, s.bytes)
     }
 }
 
-impl Network {
+impl InProcTransport {
     /// Creates a network with inboxes for the server, `n_clients` clients and
     /// the public board.
     pub fn new(n_clients: usize) -> Self {
@@ -263,19 +591,17 @@ impl Network {
             add(PartyId::Client(i));
         }
         Self {
-            stats: Mutex::new(NetStats::default()),
-            inboxes: Mutex::new(Inboxes { senders, receivers }),
+            meter: Meter::new(),
+            inboxes: Mutex::new(Inboxes { senders, receivers, dead: HashSet::new() }),
             faults: Mutex::new(Vec::new()),
-            recv_timeout: Mutex::new(DEFAULT_RECV_TIMEOUT),
-            codec: Mutex::new(WireCodec::Dense),
             permuter: Mutex::new(None),
         }
     }
 
-    /// Makes every subsequent [`Network::send_all`] deliver its fan-out in
+    /// Makes every subsequent [`Transport::send_all`] deliver its fan-out in
     /// a seeded pseudo-random order instead of input order. The schedule
     /// explorer uses this to prove the round choreography is insensitive
-    /// to ready-message delivery order: because [`Network::gather`] slots
+    /// to ready-message delivery order: because [`Transport::gather`] slots
     /// replies back into fixed sender order and every fan-out addresses
     /// each recipient once, training results must be bit-identical under
     /// any permutation. Per-call permutations are derived from
@@ -284,33 +610,9 @@ impl Network {
         *self.permuter.lock() = Some(Permuter { seed, calls: 0 });
     }
 
-    /// Sets the bound [`Network::recv`] waits before reporting
-    /// [`TransportError::Timeout`] (default [`DEFAULT_RECV_TIMEOUT`]).
-    pub fn set_recv_timeout(&self, timeout: Duration) {
-        *self.recv_timeout.lock() = timeout;
-    }
-
-    /// Selects how matrix payloads are encoded on the wire (default
-    /// [`WireCodec::Dense`]). Lossless either way — only byte counts change.
-    pub fn set_codec(&self, codec: WireCodec) {
-        *self.codec.lock() = codec;
-    }
-
-    /// The wire codec in effect.
-    pub fn codec(&self) -> WireCodec {
-        *self.codec.lock()
-    }
-
-    /// Opens a new per-round traffic window labelled `round`: all traffic
-    /// until the next call accumulates into one [`RoundStats`] entry of
-    /// [`NetStats::rounds`] (cumulative counters are unaffected).
-    pub fn begin_round(&self, round: u64) {
-        self.stats.lock().rounds.push(RoundStats { round, ..RoundStats::default() });
-    }
-
     /// Arms a one-shot fault for the next send on `(from, to)` — protocol
-    /// tests use this to check that the orchestration *notices* lost or
-    /// replayed messages instead of silently mis-training.
+    /// tests use this to check that the orchestration *notices* lost,
+    /// replayed or severed messages instead of silently mis-training.
     pub fn inject_fault(&self, from: PartyId, to: PartyId, fault: Fault) {
         self.faults.lock().push((from, to, fault));
     }
@@ -321,34 +623,65 @@ impl Network {
         Some(faults.remove(idx).2)
     }
 
-    /// Encodes `msg`, meters it and delivers it to `to`'s inbox.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::UnknownRecipient`] if `to` has no inbox,
-    /// [`TransportError::InboxClosed`] if its channel is disconnected, or
-    /// [`TransportError::Decode`] if the message fails to round-trip
-    /// through its own wire encoding.
-    pub fn send(&self, from: PartyId, to: PartyId, msg: Message) -> Result<(), TransportError> {
-        let encoded = msg.encode_with(self.codec());
+    /// Severs `party`'s link: both channel halves are dropped (waking any
+    /// blocked receiver with a disconnect) and the party is marked dead.
+    fn sever(&self, party: PartyId) {
+        let mut inboxes = self.inboxes.lock();
+        inboxes.senders.remove(&party);
+        inboxes.receivers.remove(&party);
+        inboxes.dead.insert(party);
+    }
+
+    fn is_dead(&self, party: PartyId) -> bool {
+        self.inboxes.lock().dead.contains(&party)
+    }
+
+    /// Meters `encoded` on the `(from, to)` link and delivers its decoded
+    /// message to `to`'s inbox (the shared tail of [`Transport::send`] and
+    /// [`Transport::send_all`]).
+    fn deliver(&self, from: PartyId, to: PartyId, encoded: Bytes) -> Result<(), TransportError> {
+        if self.is_dead(to) {
+            return Err(TransportError::PeerDisconnected { party: to });
+        }
+        if self.is_dead(from) {
+            return Err(TransportError::PeerDisconnected { party: from });
+        }
+        let fault = self.take_fault(from, to);
+        if fault == Some(Fault::Disconnect) {
+            // The link dies as the send begins: nothing reaches the wire,
+            // so nothing is metered.
+            self.sever(to);
+            return Err(TransportError::PeerDisconnected { party: to });
+        }
+        self.meter.record(from, to, encoded.len());
+        // Decode from the wire bytes — the recipient sees only what was
+        // actually serialized.
+        let delivered = Message::decode(encoded)?;
+        if fault == Some(Fault::Drop) {
+            return Ok(());
+        }
+        let inboxes = self.inboxes.lock();
+        let sender = inboxes.senders.get(&to).ok_or(TransportError::UnknownRecipient(to))?;
+        if fault == Some(Fault::Duplicate) {
+            sender.send((from, delivered.clone())).map_err(|_| TransportError::InboxClosed(to))?;
+        }
+        sender.send((from, delivered)).map_err(|_| TransportError::InboxClosed(to))
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&self, from: PartyId, to: PartyId, msg: Message) -> Result<(), TransportError> {
+        let encoded = msg.encode_with(self.meter.codec());
         self.deliver(from, to, encoded)
     }
 
-    /// Delivers one fan-out of pre-addressed messages: every payload is
-    /// encoded concurrently on the deterministic `gtv_tensor::pool` workers
-    /// (serialization cost is per-byte, and independent per message), then
-    /// metered and delivered **in input order** — the wire trace is
-    /// byte-identical to sending the same list through [`Network::send`]
-    /// one at a time. Under [`Network::permute_deliveries`] the delivery
-    /// order is a seeded permutation instead; per-message bytes are
-    /// unchanged.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Network::send`]; delivery stops at the first
-    /// failing message.
-    pub fn send_all(&self, msgs: Vec<(PartyId, PartyId, Message)>) -> Result<(), TransportError> {
-        let codec = self.codec();
+    /// Every payload is encoded concurrently on the deterministic
+    /// `gtv_tensor::pool` workers (serialization cost is per-byte, and
+    /// independent per message), then metered and delivered in input order.
+    /// Under [`InProcTransport::permute_deliveries`] the delivery order is
+    /// a seeded permutation instead; per-message bytes are unchanged.
+    fn send_all(&self, msgs: Vec<(PartyId, PartyId, Message)>) -> Result<(), TransportError> {
+        let codec = self.meter.codec();
         let msgs = Arc::new(msgs);
         let encoder = Arc::clone(&msgs);
         let encoded =
@@ -373,77 +706,19 @@ impl Network {
         Ok(())
     }
 
-    /// Meters `encoded` on the `(from, to)` link and delivers its decoded
-    /// message to `to`'s inbox (the shared tail of [`Network::send`] and
-    /// [`Network::send_all`]).
-    fn deliver(&self, from: PartyId, to: PartyId, encoded: Bytes) -> Result<(), TransportError> {
-        {
-            let mut stats = self.stats.lock();
-            stats.messages += 1;
-            stats.bytes += encoded.len() as u64;
-            let entry = stats.per_link.entry((from, to)).or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 += encoded.len() as u64;
-            if let Some(round) = stats.rounds.last_mut() {
-                round.messages += 1;
-                round.bytes += encoded.len() as u64;
-                let entry = round.per_link.entry((from, to)).or_insert((0, 0));
-                entry.0 += 1;
-                entry.1 += encoded.len() as u64;
-            }
-        }
-        // Decode from the wire bytes — the recipient sees only what was
-        // actually serialized.
-        let delivered = Message::decode(encoded)?;
-        let fault = self.take_fault(from, to);
-        if fault == Some(Fault::Drop) {
-            return Ok(());
-        }
+    fn try_recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
         let inboxes = self.inboxes.lock();
-        let sender = inboxes.senders.get(&to).ok_or(TransportError::UnknownRecipient(to))?;
-        if fault == Some(Fault::Duplicate) {
-            sender.send((from, delivered.clone())).map_err(|_| TransportError::InboxClosed(to))?;
-        }
-        sender.send((from, delivered)).map_err(|_| TransportError::InboxClosed(to))
-    }
-
-    /// Pops the next message from `party`'s inbox.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::InboxEmpty`] if the inbox is empty or
-    /// [`TransportError::UnknownParty`] if `party` has no inbox.
-    pub fn try_recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
-        let inboxes = self.inboxes.lock();
-        let rx = inboxes.receivers.get(&party).ok_or(TransportError::UnknownParty(party))?;
+        let Some(rx) = inboxes.receivers.get(&party) else {
+            return Err(if inboxes.dead.contains(&party) {
+                TransportError::PeerDisconnected { party }
+            } else {
+                TransportError::UnknownParty(party)
+            });
+        };
         rx.try_recv().map_err(|_| TransportError::InboxEmpty(party))
     }
 
-    /// Pops the next message, waiting up to the configured receive timeout
-    /// for one to arrive.
-    ///
-    /// Unlike [`Network::try_recv`] this tolerates a sender running on
-    /// another thread that has not delivered *yet*; a genuinely dropped or
-    /// mis-sequenced message still surfaces, as [`TransportError::Timeout`],
-    /// once the bounded wait expires.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::Timeout`] if no message arrives in time,
-    /// [`TransportError::UnknownParty`] if `party` has no inbox, or
-    /// [`TransportError::InboxClosed`] if the inbox disconnects while
-    /// waiting.
-    pub fn recv(&self, party: PartyId) -> Result<(PartyId, Message), TransportError> {
-        let timeout = *self.recv_timeout.lock();
-        self.recv_timeout(party, timeout)
-    }
-
-    /// [`Network::recv`] with an explicit wait bound.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Network::recv`].
-    pub fn recv_timeout(
+    fn recv_timeout(
         &self,
         party: PartyId,
         timeout: Duration,
@@ -453,90 +728,53 @@ impl Network {
         // very senders the wait exists for.
         let rx = {
             let inboxes = self.inboxes.lock();
-            inboxes.receivers.get(&party).ok_or(TransportError::UnknownParty(party))?.clone()
+            let Some(rx) = inboxes.receivers.get(&party) else {
+                return Err(if inboxes.dead.contains(&party) {
+                    TransportError::PeerDisconnected { party }
+                } else {
+                    TransportError::UnknownParty(party)
+                });
+            };
+            rx.clone()
         };
         rx.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout { party, waited: timeout },
-            RecvTimeoutError::Disconnected => TransportError::InboxClosed(party),
+            RecvTimeoutError::Timeout => self.meter.timeout_error(party, timeout),
+            RecvTimeoutError::Disconnected => {
+                if self.is_dead(party) {
+                    TransportError::PeerDisconnected { party }
+                } else {
+                    TransportError::InboxClosed(party)
+                }
+            }
         })
     }
 
-    /// [`Network::recv`], additionally checking the popped message is the
-    /// `expected` variant ([`Message::kind`]).
-    ///
-    /// Protocol steps that consume a message they already know the shape of
-    /// must use this instead of discarding a bare `recv` result: a
-    /// desynchronized peer then surfaces as a
-    /// [`TransportError::ProtocolViolation`] at the step that noticed,
-    /// instead of silently corrupting a later phase.
-    ///
-    /// # Errors
-    ///
-    /// [`TransportError::ProtocolViolation`] on a variant mismatch, plus
-    /// every [`Network::recv`] condition.
-    pub fn recv_expect(
-        &self,
-        party: PartyId,
-        expected: &'static str,
-    ) -> Result<(PartyId, Message), TransportError> {
-        let (from, msg) = self.recv(party)?;
-        if msg.kind() != expected {
-            return Err(TransportError::ProtocolViolation { from, expected, got: msg });
-        }
-        Ok((from, msg))
+    fn recv_timeout_bound(&self) -> Duration {
+        self.meter.recv_timeout_bound()
     }
 
-    /// Fan-in: pops one `expected`-variant message from each of `senders`
-    /// at `at`'s inbox and returns them **in `senders` order**, regardless
-    /// of arrival order. This is what keeps the pipelined schedule
-    /// observation-identical to lockstep: the server processes replies in
-    /// fixed party order even if clients finished out of order.
-    ///
-    /// # Errors
-    ///
-    /// [`TransportError::UnexpectedMessage`] on a message from a party not
-    /// in `senders` (or a duplicate), [`TransportError::ProtocolViolation`]
-    /// on a variant mismatch, plus every [`Network::recv`] condition.
-    pub fn gather(
-        &self,
-        at: PartyId,
-        senders: &[PartyId],
-        expected: &'static str,
-    ) -> Result<Vec<Message>, TransportError> {
-        let mut slots: Vec<Option<Message>> = vec![None; senders.len()];
-        for _ in 0..senders.len() {
-            let (from, msg) = self.recv(at)?;
-            let Some(pos) = senders.iter().position(|&s| s == from) else {
-                return Err(TransportError::UnexpectedMessage {
-                    from,
-                    context: "gather: sender not in the fan-in set",
-                    got: msg,
-                });
-            };
-            if slots[pos].is_some() {
-                return Err(TransportError::UnexpectedMessage {
-                    from,
-                    context: "gather: duplicate sender",
-                    got: msg,
-                });
-            }
-            if msg.kind() != expected {
-                return Err(TransportError::ProtocolViolation { from, expected, got: msg });
-            }
-            slots[pos] = Some(msg);
-        }
-        // n distinct senders filled n slots; collect() is total here.
-        slots.into_iter().collect::<Option<Vec<_>>>().ok_or(TransportError::InboxEmpty(at))
+    fn set_recv_timeout(&self, timeout: Duration) {
+        self.meter.set_recv_timeout(timeout);
     }
 
-    /// Snapshot of the traffic counters.
-    pub fn stats(&self) -> NetStats {
-        self.stats.lock().clone()
+    fn codec(&self) -> WireCodec {
+        self.meter.codec()
     }
 
-    /// Resets the traffic counters (e.g. between measurement phases).
-    pub fn reset_stats(&self) {
-        *self.stats.lock() = NetStats::default();
+    fn set_codec(&self, codec: WireCodec) {
+        self.meter.set_codec(codec);
+    }
+
+    fn begin_round(&self, round: u64) {
+        self.meter.begin_round(round);
+    }
+
+    fn stats(&self) -> NetStats {
+        self.meter.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.meter.reset();
     }
 }
 
@@ -793,6 +1031,41 @@ mod tests {
     }
 
     #[test]
+    fn injected_disconnect_severs_the_link_permanently() {
+        let net = Network::new(2);
+        net.inject_fault(PartyId::Server, PartyId::Client(1), Fault::Disconnect);
+        let before = net.stats().bytes;
+        let err = net
+            .send(PartyId::Server, PartyId::Client(1), Message::ShuffleSeedShare { share: 1 })
+            .unwrap_err();
+        assert_eq!(err, TransportError::PeerDisconnected { party: PartyId::Client(1) });
+        // The severed message never reached the wire.
+        assert_eq!(net.stats().bytes, before);
+        // The link stays dead: sends to, sends from, and receives at the
+        // crashed party all keep reporting the disconnect.
+        assert_eq!(
+            net.send(PartyId::Server, PartyId::Client(1), Message::ShuffleSeedShare { share: 2 }),
+            Err(TransportError::PeerDisconnected { party: PartyId::Client(1) })
+        );
+        assert_eq!(
+            net.send(PartyId::Client(1), PartyId::Server, Message::ShuffleSeedShare { share: 3 }),
+            Err(TransportError::PeerDisconnected { party: PartyId::Client(1) })
+        );
+        assert_eq!(
+            net.try_recv(PartyId::Client(1)),
+            Err(TransportError::PeerDisconnected { party: PartyId::Client(1) })
+        );
+        assert_eq!(
+            net.recv(PartyId::Client(1)),
+            Err(TransportError::PeerDisconnected { party: PartyId::Client(1) })
+        );
+        // Unrelated links keep working.
+        net.send(PartyId::Server, PartyId::Client(0), Message::ShuffleSeedShare { share: 4 })
+            .unwrap();
+        assert!(net.try_recv(PartyId::Client(0)).is_ok());
+    }
+
+    #[test]
     fn send_to_unknown_party_errors() {
         let net = Network::new(1);
         let err = net
@@ -822,12 +1095,53 @@ mod tests {
         net.set_recv_timeout(timeout);
         let start = std::time::Instant::now();
         let err = net.recv(PartyId::Server).unwrap_err();
-        assert_eq!(err, TransportError::Timeout { party: PartyId::Server, waited: timeout });
+        assert_eq!(
+            err,
+            TransportError::Timeout {
+                party: PartyId::Server,
+                waited: timeout,
+                round: None,
+                expecting: None
+            }
+        );
         assert!(start.elapsed() >= timeout, "recv must actually wait out the bound");
         // `try_recv` keeps its non-blocking contract.
         let start = std::time::Instant::now();
         assert_eq!(net.try_recv(PartyId::Server), Err(TransportError::InboxEmpty(PartyId::Server)));
         assert!(start.elapsed() < timeout, "try_recv must not block");
+    }
+
+    #[test]
+    fn timeout_carries_round_and_expected_variant_context() {
+        // Regression: fan-in timeouts used to say only "no message within
+        // 1s" — useless against a hung socket party. They must now name the
+        // round window and the variant the step was waiting for.
+        let net = Network::new(1);
+        net.set_recv_timeout(Duration::from_millis(5));
+        net.begin_round(41);
+        net.begin_round(42);
+        let err = net.recv_expect(PartyId::Server, "SynthLogits").unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Timeout {
+                party: PartyId::Server,
+                waited: Duration::from_millis(5),
+                round: Some(42),
+                expecting: Some("SynthLogits"),
+            }
+        );
+        let shown = err.to_string();
+        assert!(shown.contains("round 42"), "{shown}");
+        assert!(shown.contains("SynthLogits"), "{shown}");
+        // `gather` stamps the same context.
+        let err = net.gather(PartyId::Server, &[PartyId::Client(0)], "RealLogits").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::Timeout { round: Some(42), expecting: Some("RealLogits"), .. }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

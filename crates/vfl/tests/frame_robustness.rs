@@ -1,0 +1,144 @@
+//! Property tests: the socket framing layer is *total* on arbitrary input.
+//! A remote peer controls every byte that reaches [`FrameBuf`], so split or
+//! partial reads, truncated frames, corrupt bodies, oversized length
+//! prefixes and nonsense handshake versions must all decode to typed
+//! [`TransportError`]s — never a panic, a hang, or an allocation driven by
+//! an attacker-chosen length. Extends the `decode_robustness.rs` style to
+//! the framing layer beneath the message codec.
+
+use gtv_vfl::socket::framing::{
+    decode_frame_body, encode_frame, handshake_reject_reason, Frame, FrameBuf, MAX_FRAME_BODY,
+    PROTOCOL_VERSION, WIRE_VERSION,
+};
+use gtv_vfl::{PartyId, TransportError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn party_of(sel: usize) -> PartyId {
+    match sel % 3 {
+        0 => PartyId::Server,
+        1 => PartyId::Public,
+        _ => PartyId::Client(sel / 3),
+    }
+}
+
+/// One arbitrary frame, driven by a variant selector plus a shared pool of
+/// generated field values (the shim has no `prop_oneof!`).
+fn frame() -> impl Strategy<Value = Frame> {
+    (0u8..10, any::<u32>(), any::<u32>(), 0usize..48, vec(any::<u8>(), 0..256), any::<u64>())
+        .prop_map(|(variant, a, b, psel, payload, timeout_ms)| match variant {
+            0 => Frame::Hello { protocol: a, wire: b, party: party_of(psel) },
+            1 => Frame::HelloAck { protocol: a, wire: b },
+            2 => Frame::HelloReject {
+                reason: payload.iter().map(|&c| char::from(b' ' + c % 95)).collect(),
+            },
+            3 => Frame::Deliver { from: party_of(psel), payload: payload.into() },
+            4 => Frame::DeliverAck,
+            5 => Frame::RecvReq { timeout_ms },
+            6 => Frame::TryRecvReq,
+            7 => Frame::Msg { from: party_of(psel), payload: payload.into() },
+            8 => Frame::Empty,
+            _ => Frame::TimedOut,
+        })
+}
+
+/// Feed a byte stream into a fresh decoder, draining frames until the
+/// buffer runs dry or sync is lost. Total by construction: every outcome
+/// is `Ok(frames)` or a typed error.
+fn drain(stream: &[u8], chunk: usize) -> Result<Vec<Frame>, TransportError> {
+    let mut fb = FrameBuf::new();
+    let mut out = Vec::new();
+    for piece in stream.chunks(chunk.max(1)) {
+        fb.extend(piece);
+        while let Some(f) = fb.next_frame()? {
+            out.push(f);
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the incremental decoder, and a length
+    /// prefix beyond the frame bound is rejected before any buffer grows
+    /// toward it.
+    #[test]
+    fn arbitrary_streams_never_panic(bytes in vec(any::<u8>(), 0..512), chunk in 1usize..64) {
+        let _ = drain(&bytes, chunk);
+    }
+
+    /// An oversized length prefix errors immediately — the decoder must not
+    /// wait for (or try to allocate) the advertised body.
+    #[test]
+    fn oversized_length_prefix_is_typed_error(extra in any::<u32>()) {
+        let len = (MAX_FRAME_BODY as u64 + 1 + u64::from(extra)).min(u64::from(u32::MAX)) as u32;
+        let mut fb = FrameBuf::new();
+        fb.extend(&len.to_le_bytes());
+        let err = fb.next_frame().expect_err("oversized prefix must be rejected");
+        prop_assert!(matches!(err, TransportError::Frame { .. }), "{err:?}");
+        prop_assert!(fb.buffered() <= 4, "nothing may be buffered toward the bogus body");
+    }
+
+    /// encode→decode round-trips every frame, regardless of how the bytes
+    /// are split across reads.
+    #[test]
+    fn frames_roundtrip_under_any_split(f in frame(), chunk in 1usize..16) {
+        let bytes = encode_frame(&f);
+        let frames = drain(&bytes, chunk).expect("valid encoding must decode");
+        prop_assert_eq!(frames, vec![f]);
+    }
+
+    /// Byte-by-byte feeding and one-shot feeding agree on every stream —
+    /// the decoder's state machine cannot depend on read boundaries.
+    #[test]
+    fn split_and_whole_feeds_agree(frames in vec(frame(), 0..6)) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let whole = drain(&stream, stream.len().max(1)).expect("valid");
+        let split = drain(&stream, 1).expect("valid");
+        prop_assert_eq!(&whole, &frames);
+        prop_assert_eq!(whole, split);
+    }
+
+    /// A truncated frame is "need more bytes" (`Ok(None)`), never an error
+    /// or a phantom frame.
+    #[test]
+    fn truncated_frames_wait_for_more(f in frame(), cut in 1usize..32) {
+        let bytes = encode_frame(&f);
+        let keep = bytes.len() - cut.min(bytes.len());
+        let mut fb = FrameBuf::new();
+        fb.extend(&bytes[..keep]);
+        prop_assert_eq!(fb.next_frame().expect("prefix of a valid frame cannot error"), None);
+    }
+
+    /// Corrupting a frame body decodes to a typed error or some other valid
+    /// frame — never a panic.
+    #[test]
+    fn corrupted_bodies_never_panic(f in frame(), pos in 0usize..4096, flip in 1u8..255) {
+        let mut bytes = encode_frame(&f);
+        let i = 4 + pos % (bytes.len() - 4).max(1);
+        if i < bytes.len() {
+            bytes[i] ^= flip.max(1);
+        }
+        let _ = decode_frame_body(&bytes[4..]);
+        let _ = drain(&bytes, 7);
+    }
+
+    /// The handshake acceptance rule: exactly the advertised versions pass,
+    /// everything else is rejected with a reason naming the bad version.
+    #[test]
+    fn handshake_versions_are_strict(protocol in any::<u32>(), wire in any::<u32>()) {
+        match handshake_reject_reason(protocol, wire) {
+            None => {
+                prop_assert_eq!(protocol, PROTOCOL_VERSION);
+                prop_assert_eq!(wire, WIRE_VERSION);
+            }
+            Some(reason) => {
+                prop_assert!(protocol != PROTOCOL_VERSION || wire != WIRE_VERSION);
+                let named = if protocol != PROTOCOL_VERSION { protocol } else { wire };
+                prop_assert!(reason.contains(&named.to_string()), "{reason}");
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! * **L1 `panic`** — no `unwrap()` / `expect(` / `panic!` /
 //!   `unreachable!` / `todo!` in protocol/runtime paths
-//!   (`crates/vfl/src/{transport,wire,shuffle,psi}.rs`,
+//!   (`crates/vfl/src/{transport,socket,wire,shuffle,psi}.rs`,
 //!   `crates/core/src/trainer.rs`), outside `#[cfg(test)]` code;
 //! * **L2 `determinism`** — no `thread_rng`, `from_entropy`,
 //!   `SystemTime::now`, `Instant::now` outside `crates/bench` and
@@ -34,7 +34,8 @@
 //! * **L9 `layering`** — the crate dependency DAG is enforced at the
 //!   `use`-statement (and qualified-path) level;
 //! * **L10 `protocol-order`** — every send/recv sequence extracted from
-//!   `crates/core/src/trainer.rs` and `crates/vfl/src/transport.rs` is a
+//!   `crates/core/src/trainer.rs` and `crates/vfl/src/{transport,socket}.rs`
+//!   is a
 //!   path through the declared protocol state machine in [`protocol`],
 //!   every `Message` variant appears in the machine (drift check), and no
 //!   party sends a variant the machine reserves for the other direction;
@@ -275,6 +276,7 @@ impl std::error::Error for LintError {}
 /// Files subject to the L1 panic-freedom rule (protocol/runtime paths).
 const L1_FILES: &[&str] = &[
     "crates/vfl/src/transport.rs",
+    "crates/vfl/src/socket.rs",
     "crates/vfl/src/wire.rs",
     "crates/vfl/src/shuffle.rs",
     "crates/vfl/src/psi.rs",

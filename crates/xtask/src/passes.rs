@@ -317,7 +317,7 @@ pub fn lint_cast_safety(units: &[FileUnit], findings: &mut Vec<Finding>) {
             continue;
         }
         let stem = file_stem(unit);
-        if !stem.contains("wire") && !stem.contains("transport") {
+        if !stem.contains("wire") && !stem.contains("transport") && !stem.contains("socket") {
             continue;
         }
         for f in &unit.ast.fns {

@@ -173,7 +173,7 @@ const MAX_DEPTH: usize = 8;
 /// sequences and eligible for callee expansion).
 fn is_protocol_file(unit: &FileUnit) -> bool {
     let stem = file_stem(unit);
-    stem.contains("trainer") || stem.contains("transport")
+    stem.contains("trainer") || stem.contains("transport") || stem.contains("socket")
 }
 
 /// One protocol operation extracted from a function body: a `Message`

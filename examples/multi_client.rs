@@ -20,7 +20,9 @@ fn main() {
     );
 
     for n_clients in 2..=5 {
-        let groups = PartitionPlan::RandomEven { n_clients, seed: 4 }.column_groups(n, None, None);
+        let groups = PartitionPlan::RandomEven { n_clients, seed: 4 }
+            .column_groups(n, None, None)
+            .expect("valid partition");
         let shards = table.vertical_split(&groups);
         let config = GtvConfig { rounds: 200, batch: 128, ..GtvConfig::default() };
         let mut trainer = GtvTrainer::new(shards, config);

@@ -7,7 +7,9 @@ use gtv_ml::utility_difference;
 
 fn even_shards(table: &Table, n_clients: usize) -> Vec<Table> {
     let n = table.n_cols();
-    let groups = gtv_vfl::PartitionPlan::Even { n_clients }.column_groups(n, None, None);
+    let groups = gtv_vfl::PartitionPlan::Even { n_clients }
+        .column_groups(n, None, None)
+        .expect("valid partition");
     table.vertical_split(&groups)
 }
 

@@ -4,7 +4,7 @@
 
 use gtv::{GtvConfig, GtvTrainer, TransportError};
 use gtv_data::Dataset;
-use gtv_vfl::{Fault, PartyId};
+use gtv_vfl::{Fault, PartyId, Transport};
 
 fn trainer() -> GtvTrainer {
     let table = Dataset::Loan.generate(60, 0);
@@ -61,6 +61,44 @@ fn faulted_trainer_does_not_panic() {
         }));
         assert!(result.is_ok(), "transport faults must never panic ({fault:?})");
     }
+}
+
+#[test]
+fn mid_round_disconnect_surfaces_as_peer_disconnected() {
+    // A peer crashing mid-round must surface as `PeerDisconnected` from
+    // `train_round` — not a panic, not an indefinite block. (The socket
+    // backend's copy of this regression lives in tests/socket_loopback.rs.)
+    let mut t = trainer();
+    t.train_round().expect("healthy round first");
+    t.network().inject_fault(PartyId::Server, PartyId::Client(1), Fault::Disconnect);
+    let err = t.train_round().expect_err("a dead link must not go unnoticed");
+    assert_eq!(err, TransportError::PeerDisconnected { party: PartyId::Client(1) });
+    // The severed link is permanent: later rounds fail the same way.
+    let err = t.train_round().expect_err("the link stays dead");
+    assert!(
+        matches!(err, TransportError::PeerDisconnected { .. }),
+        "severed links must not heal: {err:?}"
+    );
+}
+
+#[test]
+fn timeout_errors_name_the_stalled_round_and_message() {
+    // A hung party must be diagnosable from the error alone: the timeout
+    // carries the protocol round (from `begin_round`) and what the receiver
+    // was waiting for.
+    let mut t = trainer();
+    t.train_round().expect("round 0 is healthy");
+    t.network().inject_fault(PartyId::Client(0), PartyId::Server, Fault::Drop);
+    let err = t.train_round().expect_err("the dropped upload must time out");
+    match &err {
+        TransportError::Timeout { party: PartyId::Server, round, expecting, .. } => {
+            assert_eq!(*round, Some(1), "the error must name the in-flight round");
+            assert!(expecting.is_some(), "the error must name the awaited message");
+        }
+        other => panic!("expected a contextful Timeout, got {other:?}"),
+    }
+    let shown = err.to_string();
+    assert!(shown.contains("round 1"), "{shown}");
 }
 
 #[test]

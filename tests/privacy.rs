@@ -2,7 +2,7 @@
 
 use gtv::{GtvConfig, GtvTrainer};
 use gtv_data::Dataset;
-use gtv_vfl::PartyId;
+use gtv_vfl::{PartyId, Transport};
 
 fn trainer(rows: usize, shuffling: bool, rounds: usize) -> GtvTrainer {
     let table = Dataset::Loan.generate(rows, 0);

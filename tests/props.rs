@@ -46,7 +46,7 @@ proptest! {
     #[test]
     fn split_concat_roundtrip(t in table_strategy(), n_clients in 1usize..4, seed in any::<u64>()) {
         let n_clients = n_clients.min(t.n_cols());
-        let groups = PartitionPlan::RandomEven { n_clients, seed }.column_groups(t.n_cols(), None, None);
+        let groups = PartitionPlan::RandomEven { n_clients, seed }.column_groups(t.n_cols(), None, None).expect("valid partition");
         let shards = t.vertical_split(&groups);
         let refs: Vec<&Table> = shards.iter().collect();
         let joined = Table::hconcat(&refs);
@@ -75,7 +75,7 @@ proptest! {
     #[test]
     fn ratios_and_widths(n_cols in 2usize..40, n_clients in 1usize..6, total in 8usize..512) {
         let n_clients = n_clients.min(n_cols);
-        let groups = PartitionPlan::Even { n_clients }.column_groups(n_cols, None, None);
+        let groups = PartitionPlan::Even { n_clients }.column_groups(n_cols, None, None).expect("valid partition");
         let r = ratio_vector(&groups);
         prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         if total >= n_clients {

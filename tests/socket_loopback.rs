@@ -1,0 +1,176 @@
+//! Loopback integration: training over [`SocketTransport`] — every client
+//! party hosted by a [`PartyNode`] behind a real TCP or Unix-domain socket
+//! — is *observationally identical* to the in-process backend. Same seed,
+//! same config ⇒ byte-identical trained weights and identical per-round
+//! byte accounting; and the failure modes the sockets add (version
+//! mismatch, peer crash mid-round) surface as typed [`TransportError`]s,
+//! never panics or hangs.
+
+use gtv::{GtvConfig, GtvTrainer};
+use gtv_data::{Dataset, Table};
+use gtv_vfl::socket::framing::{PROTOCOL_VERSION, WIRE_VERSION};
+use gtv_vfl::{
+    Endpoint, Fault, PartitionPlan, PartyId, PartyNode, SocketTransport, Transport, TransportError,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Fleet {
+    nodes: Vec<Arc<PartyNode>>,
+    handles: Vec<JoinHandle<()>>,
+    endpoints: HashMap<PartyId, Endpoint>,
+}
+
+impl Fleet {
+    /// Binds and serves one [`PartyNode`] per client; the server and public
+    /// board stay local to the orchestrating (test) process, mirroring the
+    /// `serve-server` deployment.
+    fn spawn(n_clients: usize, unix: bool, tag: &str) -> Self {
+        let mut nodes = Vec::new();
+        let mut handles = Vec::new();
+        let mut endpoints = HashMap::new();
+        for i in 0..n_clients {
+            let ep = if unix {
+                Endpoint::Unix(
+                    std::env::temp_dir()
+                        .join(format!("gtv-loopback-{}-{tag}-{i}.sock", std::process::id())),
+                )
+            } else {
+                Endpoint::parse("127.0.0.1:0")
+            };
+            let node = Arc::new(PartyNode::bind(PartyId::Client(i), &ep).expect("bind loopback"));
+            endpoints.insert(PartyId::Client(i), node.endpoint());
+            let serving = Arc::clone(&node);
+            handles.push(std::thread::spawn(move || serving.serve().expect("serve loopback")));
+            nodes.push(node);
+        }
+        Self { nodes, handles, endpoints }
+    }
+
+    fn shutdown(self) {
+        for node in &self.nodes {
+            node.request_stop();
+        }
+        for handle in self.handles {
+            handle.join().expect("node thread exits cleanly");
+        }
+    }
+}
+
+fn shards(n_clients: usize) -> Vec<Table> {
+    let table = Dataset::Loan.generate(60, 0);
+    let groups = PartitionPlan::Even { n_clients }
+        .column_groups(table.n_cols(), None, None)
+        .expect("valid partition");
+    table.vertical_split(&groups)
+}
+
+/// Train the same data/config/seed over both backends and demand
+/// bit-identical weights and identical byte accounting.
+fn assert_backends_equivalent(n_clients: usize, unix: bool, tag: &str) {
+    let rounds = 2;
+    let mut inproc = GtvTrainer::new(shards(n_clients), GtvConfig::smoke());
+    for _ in 0..rounds {
+        inproc.train_round().expect("in-process round");
+    }
+
+    let fleet = Fleet::spawn(n_clients, unix, tag);
+    let transport = SocketTransport::connect(n_clients, fleet.endpoints.clone())
+        .expect("connect to loopback fleet");
+    let mut socketed = GtvTrainer::with_transport(shards(n_clients), GtvConfig::smoke(), transport)
+        .expect("seed negotiation over sockets");
+    for _ in 0..rounds {
+        socketed.train_round().expect("socket round");
+    }
+
+    // Bit-identical training: every weight, every loss, byte for byte.
+    assert_eq!(inproc.save_weights(), socketed.save_weights(), "trained weights must match");
+    assert_eq!(inproc.history().d_loss, socketed.history().d_loss);
+    assert_eq!(inproc.history().g_loss, socketed.history().g_loss);
+    // Identical byte accounting, including the per-round windows: the
+    // backends meter the encoded message bodies, not the medium.
+    assert_eq!(inproc.network_stats(), socketed.network_stats(), "byte accounting must match");
+
+    fleet.shutdown();
+}
+
+#[test]
+fn two_party_tcp_matches_in_process() {
+    assert_backends_equivalent(2, false, "tcp2");
+}
+
+#[test]
+fn two_party_unix_matches_in_process() {
+    assert_backends_equivalent(2, true, "uds2");
+}
+
+#[test]
+fn three_party_tcp_matches_in_process() {
+    assert_backends_equivalent(3, false, "tcp3");
+}
+
+#[test]
+fn three_party_unix_matches_in_process() {
+    assert_backends_equivalent(3, true, "uds3");
+}
+
+#[test]
+fn version_mismatch_is_a_typed_handshake_failure() {
+    let fleet = Fleet::spawn(1, false, "ver");
+    for (protocol, wire) in [(PROTOCOL_VERSION + 1, WIRE_VERSION), (PROTOCOL_VERSION, 99)] {
+        let err =
+            SocketTransport::connect_with_versions(1, fleet.endpoints.clone(), protocol, wire)
+                .expect_err("a version mismatch must be rejected");
+        assert!(
+            matches!(err, TransportError::HandshakeFailed { .. }),
+            "({protocol},{wire}): {err:?}"
+        );
+    }
+    // The node survives rejected handshakes and still serves honest peers.
+    let transport = SocketTransport::connect(1, fleet.endpoints.clone())
+        .expect("honest handshake after rejected ones");
+    transport
+        .send(PartyId::Server, PartyId::Client(0), gtv_vfl::Message::ShuffleSeedShare { share: 3 })
+        .expect("the link works");
+    fleet.shutdown();
+}
+
+#[test]
+fn mid_round_peer_crash_is_peer_disconnected_not_a_hang() {
+    let mut fleet = Fleet::spawn(2, false, "crash");
+    let transport =
+        SocketTransport::connect(2, fleet.endpoints.clone()).expect("connect to loopback fleet");
+    let mut trainer = GtvTrainer::with_transport(shards(2), GtvConfig::smoke(), transport)
+        .expect("seed negotiation over sockets");
+    trainer.train_round().expect("round 0 is healthy");
+
+    // Kill client 1's process stand-in: stop its node and close its
+    // listener, exactly what a crashed party looks like from outside.
+    let dead = fleet.nodes.pop().expect("fleet has two nodes");
+    let handle = fleet.handles.pop().expect("fleet has two threads");
+    dead.request_stop();
+    handle.join().expect("node thread exits");
+    drop(dead);
+
+    let err = trainer.train_round().expect_err("a dead party must abort the round");
+    assert_eq!(err, TransportError::PeerDisconnected { party: PartyId::Client(1) });
+    fleet.shutdown();
+}
+
+#[test]
+fn injected_disconnect_mid_round_surfaces_on_the_socket_backend() {
+    // The `Fault::Disconnect` regression on the socket backend (the
+    // in-process copy lives in tests/failures.rs): the very next exchange
+    // with the severed party reports `PeerDisconnected` from `train_round`.
+    let fleet = Fleet::spawn(2, false, "fault");
+    let transport =
+        SocketTransport::connect(2, fleet.endpoints.clone()).expect("connect to loopback fleet");
+    let mut trainer = GtvTrainer::with_transport(shards(2), GtvConfig::smoke(), transport)
+        .expect("seed negotiation over sockets");
+    trainer.train_round().expect("round 0 is healthy");
+    trainer.network().inject_fault(PartyId::Server, PartyId::Client(0), Fault::Disconnect);
+    let err = trainer.train_round().expect_err("the severed link must abort the round");
+    assert_eq!(err, TransportError::PeerDisconnected { party: PartyId::Client(0) });
+    fleet.shutdown();
+}

@@ -45,6 +45,14 @@ rm target/gtv-lint.sarif.2
 step "cargo test -q"
 cargo test -q --workspace
 
+step "socket loopback (transport-backend equivalence)"
+# Real TCP and Unix-domain PartyNodes behind SocketTransport must train to
+# byte-identical weights and identical byte accounting vs the in-process
+# backend, and handshake/crash failures must be typed errors (DESIGN.md
+# §13). Part of the workspace run above; re-run un-quieted so the gate
+# names each backend and party count it proved.
+cargo test -p gtv-suite --test socket_loopback
+
 step "schedule explorer (protocol-conformance, dynamic half)"
 # The loom-lite explorer over real trainer rounds (DESIGN.md §11): permuted
 # delivery order must leave weights/synthesis bit-identical at 2 and 3
