@@ -8,10 +8,17 @@
 //! bit-identical) but cannot show wall-clock speedups — read the numbers
 //! with the `host_parallelism` field in hand.
 //!
+//! A roofline summary rides along: a compute-peak probe (the repo's own
+//! f32x8 dot kernel on an L1-resident operand — mul+add throughput, no
+//! FMA, matching the determinism contract), per-case nominal bytes moved,
+//! arithmetic intensity (FLOP/byte) and single-thread percent-of-peak,
+//! plus a scalar-libm reference for the elementwise and reduction cases so
+//! the SIMD delta is measured, not asserted.
+//!
 //! `GTV_BENCH_REPS` controls repetitions per measurement (default 3; the
 //! minimum over reps is reported).
 
-use gtv_tensor::{pool, Graph, Tensor, UnaryOp};
+use gtv_tensor::{pool, simd, Graph, Tensor, UnaryOp};
 use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -36,7 +43,14 @@ struct Case {
     name: &'static str,
     /// Floating-point operations per run (for GFLOP/s).
     flops: f64,
+    /// Nominal bytes moved per run (operands read once + result written
+    /// once, cache-ignorant) — the denominator of arithmetic intensity.
+    bytes: f64,
     run: Box<dyn Fn() -> f32>,
+    /// Scalar-libm reference doing the same arithmetic without the f32x8
+    /// kernels, for the SIMD-delta column. `None` where no meaningful
+    /// scalar twin exists (matmul shares its inner kernel either way).
+    scalar_run: Option<Box<dyn Fn() -> f32>>,
 }
 
 fn cases() -> Vec<Case> {
@@ -51,21 +65,31 @@ fn cases() -> Vec<Case> {
                 _ => "matmul_512",
             },
             flops: 2.0 * (n * n * n) as f64,
+            bytes: (3 * n * n * 4) as f64,
             run: Box::new(move || a.matmul(&b).at(0, 0)),
+            scalar_run: None,
         });
     }
     let big = filled(1024, 1024, 3);
     let elem = big.clone();
+    let elem_scalar = big.clone();
     out.push(Case {
         name: "elementwise_tanh_1m",
         flops: (1024 * 1024) as f64,
+        bytes: (2 * 1024 * 1024 * 4) as f64,
         run: Box::new(move || elem.apply(UnaryOp::Tanh).at(0, 0)),
+        scalar_run: Some(Box::new(move || {
+            elem_scalar.as_slice().iter().map(|&v| v.tanh()).fold(0.0f32, f32::max)
+        })),
     });
     let red = big.clone();
+    let red_scalar = big.clone();
     out.push(Case {
         name: "reduction_sum_1m",
         flops: (1024 * 1024) as f64,
+        bytes: (1024 * 1024 * 4) as f64,
         run: Box::new(move || red.sum_all().item()),
+        scalar_run: Some(Box::new(move || red_scalar.as_slice().iter().sum::<f32>())),
     });
     let x0 = filled(256, 128, 4);
     let w0 = filled(128, 64, 5);
@@ -73,6 +97,7 @@ fn cases() -> Vec<Case> {
         name: "backward_tanh_matmul",
         // Forward matmul + backward's two matmuls, elementwise terms omitted.
         flops: 3.0 * 2.0 * (256 * 128 * 64) as f64,
+        bytes: (3 * (256 * 128 + 128 * 64 + 256 * 64) * 4) as f64,
         run: Box::new(move || {
             let g = Graph::new();
             let x = g.leaf(x0.clone());
@@ -82,8 +107,35 @@ fn cases() -> Vec<Case> {
             let dw = g.grad(y, &[w])[0];
             g.value(dw).at(0, 0)
         }),
+        scalar_run: None,
     });
     out
+}
+
+/// Single-thread compute ceiling in GFLOP/s: the repo's own f32x8 dot
+/// kernel over an L1-resident 4Ki-element pair (2 FLOPs/element, no FMA —
+/// the determinism contract forbids it, so this *is* the relevant peak for
+/// every kernel in the crate, not a theoretical FMA number).
+fn measure_peak(reps: usize) -> f64 {
+    const LEN: usize = 4096;
+    const ITERS: usize = 20_000;
+    let mut state = 7u64;
+    let a: Vec<f32> =
+        (0..LEN).map(|_| (splitmix(&mut state) % 2000) as f32 / 1000.0 - 1.0).collect();
+    let b: Vec<f32> =
+        (0..LEN).map(|_| (splitmix(&mut state) % 2000) as f32 / 1000.0 - 1.0).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut sink = 0.0f64;
+        for _ in 0..ITERS {
+            sink += f64::from(simd::dot(&a, &b));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(sink.is_finite(), "peak probe must produce finite values");
+        best = best.min(elapsed);
+    }
+    2.0 * (LEN * ITERS) as f64 / best / 1e9
 }
 
 fn measure(case: &Case, reps: usize) -> f64 {
@@ -111,6 +163,9 @@ fn main() {
     let reps = std::env::var("GTV_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
     let host = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     eprintln!("bench_tensor: host parallelism {host}, {reps} reps, threads {THREAD_COUNTS:?}");
+
+    let peak_gflops = measure_peak(reps);
+    eprintln!("  compute peak (f32x8 dot, L1-resident): {peak_gflops:.2} GFLOP/s");
 
     let cases = cases();
     // times[case][thread-count index]
@@ -140,16 +195,49 @@ fn main() {
                 )
             })
             .collect();
+        // Roofline columns: single-thread numbers against the probe's
+        // single-thread peak, plus the scalar-libm delta where it exists.
+        let mut roofline = format!(
+            "\"bytes\":{},\"arithmetic_intensity\":{},\"pct_of_peak_1t\":{}",
+            case.bytes,
+            json_f(case.flops / case.bytes),
+            json_f(case.flops / base / 1e9 / peak_gflops * 100.0)
+        );
+        if let Some(scalar) = &case.scalar_run {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let sink = scalar();
+                let elapsed = start.elapsed().as_secs_f64();
+                assert!(sink.is_finite(), "scalar reference must produce finite values");
+                best = best.min(elapsed);
+            }
+            let scalar_gflops = case.flops / best / 1e9;
+            eprintln!(
+                "  scalar ref  {:<22} {:>9.3} ms  (SIMD 1t is {:.2}x)",
+                case.name,
+                best * 1e3,
+                best / base
+            );
+            roofline.push_str(&format!(
+                ",\"scalar_gflops\":{},\"simd_speedup_vs_scalar\":{}",
+                json_f(scalar_gflops),
+                json_f(best / base)
+            ));
+        }
         entries.push(format!(
-            "{{\"op\":\"{}\",\"flops\":{},\"runs\":[{}]}}",
+            "{{\"op\":\"{}\",\"flops\":{},{},\"runs\":[{}]}}",
             case.name,
             case.flops,
+            roofline,
             per_threads.join(",")
         ));
     }
     let json = format!(
-        "{{\"host_parallelism\":{host},\"reps\":{reps},\"thread_counts\":{:?},\"cases\":[{}]}}\n",
+        "{{\"host_parallelism\":{host},\"reps\":{reps},\"thread_counts\":{:?},\
+         \"roofline_peak_gflops\":{},\"roofline_probe\":\"f32x8_dot_l1_4k\",\"cases\":[{}]}}\n",
         THREAD_COUNTS,
+        json_f(peak_gflops),
         entries.join(",")
     );
     std::fs::write(&out_path, &json).expect("writing the benchmark report");

@@ -165,18 +165,27 @@ impl Graph {
                     self.accumulate(&mut adj, x.0, gx);
                 }
                 Op::Tanh(x) => {
-                    let o2 = self.mul(out_var, out_var);
-                    let one_minus = self.neg(o2);
-                    let one_minus = self.add_scalar(one_minus, 1.0);
+                    let one_minus = self.tanh_grad(out_var);
                     let gx = self.mul(g_out, one_minus);
                     self.accumulate(&mut adj, x.0, gx);
                 }
                 Op::Sigmoid(x) => {
-                    let one_minus = self.neg(out_var);
-                    let one_minus = self.add_scalar(one_minus, 1.0);
-                    let t = self.mul(out_var, one_minus);
+                    let t = self.sigmoid_grad(out_var);
                     let gx = self.mul(g_out, t);
                     self.accumulate(&mut adj, x.0, gx);
+                }
+                Op::TanhGrad(y) => {
+                    // u = 1 − y² ⇒ du/dy = −2y.
+                    let t = self.mul_scalar(y, -2.0);
+                    let gy = self.mul(g_out, t);
+                    self.accumulate(&mut adj, y.0, gy);
+                }
+                Op::SigmoidGrad(y) => {
+                    // u = y − y² ⇒ du/dy = 1 − 2y.
+                    let t = self.mul_scalar(y, -2.0);
+                    let t = self.add_scalar(t, 1.0);
+                    let gy = self.mul(g_out, t);
+                    self.accumulate(&mut adj, y.0, gy);
                 }
                 Op::Relu(x) => {
                     // Mask is a constant w.r.t. further differentiation
@@ -231,15 +240,11 @@ impl Graph {
                     // double backward — are bit-identical.
                     let g_s = match act {
                         FusedAct::Tanh => {
-                            let o2 = self.mul(out_var, out_var);
-                            let one_minus = self.neg(o2);
-                            let one_minus = self.add_scalar(one_minus, 1.0);
+                            let one_minus = self.tanh_grad(out_var);
                             self.mul(g_out, one_minus)
                         }
                         FusedAct::Sigmoid => {
-                            let one_minus = self.neg(out_var);
-                            let one_minus = self.add_scalar(one_minus, 1.0);
-                            let t = self.mul(out_var, one_minus);
+                            let t = self.sigmoid_grad(out_var);
                             self.mul(g_out, t)
                         }
                         FusedAct::Relu => {

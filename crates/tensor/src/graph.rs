@@ -63,6 +63,12 @@ pub(crate) enum Op {
     Sqrt(Var),
     Tanh(Var),
     Sigmoid(Var),
+    /// `1 - y²` — tanh's derivative as a function of tanh's *output*; a
+    /// first-class op so the backward pass is one fused kernel instead of a
+    /// `mul → neg → add_scalar` chain.
+    TanhGrad(Var),
+    /// `y·(1 - y)` — sigmoid's derivative from its output.
+    SigmoidGrad(Var),
     /// `max(x, 0)`; gradient mask is treated as a constant (correct a.e.).
     Relu(Var),
     /// Leaky ReLU with the given negative slope.
@@ -315,6 +321,22 @@ impl Graph {
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&self, x: Var) -> Var {
         self.unary(x, |t| t.apply(UnaryOp::Sigmoid), Op::Sigmoid(x))
+    }
+
+    /// Elementwise `1 - y²`: the derivative of tanh expressed in tanh's
+    /// *output* `y`. Bit-identical to the `neg(mul(y, y))` →
+    /// `add_scalar(·, 1)` chain it replaces in the backward pass (IEEE
+    /// `1 − v·v` and `(−v·v) + 1` round identically), but a single node
+    /// over one fused lane kernel.
+    pub fn tanh_grad(&self, y: Var) -> Var {
+        self.unary(y, |t| t.apply(UnaryOp::TanhGrad), Op::TanhGrad(y))
+    }
+
+    /// Elementwise `y·(1 - y)`: the derivative of sigmoid expressed in its
+    /// output `y`; bit-identical to the unfused
+    /// `mul(y, add_scalar(neg(y), 1))` chain.
+    pub fn sigmoid_grad(&self, y: Var) -> Var {
+        self.unary(y, |t| t.apply(UnaryOp::SigmoidGrad), Op::SigmoidGrad(y))
     }
 
     /// Elementwise ReLU.

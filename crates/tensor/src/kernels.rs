@@ -8,27 +8,33 @@
 //! * reductions combine chunk partials in a fixed pairwise tree, so the
 //!   rounding of a sum depends on the data's length, not on scheduling;
 //! * kernel selection (dense vs. zero-skipping matmul) is data-dependent
-//!   but thread-count independent.
+//!   but thread-count independent;
+//! * inline-vs-pool dispatch keys on the problem size alone, against the
+//!   thresholds in [`crate::dispatch`], and both sides run the *same*
+//!   chunked computation.
 //!
 //! Together these make results bit-identical for any `GTV_THREADS` value.
+//!
+//! The inner loops live in [`crate::simd`]: f32x8 lane kernels for the
+//! transcendentals, elementwise maps, and fixed-shape reductions. This
+//! module owns chunking, dispatch, and buffer plumbing only.
 
 use std::sync::Arc;
 
+use crate::dispatch;
 use crate::pool;
 use crate::pool_mem;
+use crate::simd;
 
 /// Output rows per matmul chunk.
 const ROW_BLOCK: usize = 16;
-/// Elements per elementwise chunk.
+/// Elements per elementwise chunk (a multiple of [`simd::LANES`], so chunk
+/// cuts land on lane-group boundaries).
 const ELEM_BLOCK: usize = 8_192;
 /// Elements per reduction leaf; also the row-block budget for row/column
-/// sums (`rows_per_chunk = REDUCE_BLOCK / cols`).
+/// sums (`rows_per_chunk = REDUCE_BLOCK / cols`). A multiple of
+/// [`simd::LANES`].
 const REDUCE_BLOCK: usize = 4_096;
-/// Minimum multiply-accumulate count before a matmul is worth dispatching
-/// to the pool.
-const MATMUL_PAR_MIN: usize = 32_768;
-/// Minimum element count before a reduction is worth dispatching.
-const REDUCE_PAR_MIN: usize = 16_384;
 
 /// Elementwise unary kernels. An enum (rather than a closure) so the op is
 /// `Copy + Send` and can cross the worker-pool boundary.
@@ -60,19 +66,25 @@ pub enum UnaryOp {
     ReluMask,
     /// Subgradient mask of [`UnaryOp::LeakyRelu`]: `1` for `x ≥ 0`, else `α`.
     LeakyReluMask(f32),
+    /// Derivative of tanh from its *output*: `1 - y²`.
+    TanhGrad,
+    /// Derivative of sigmoid from its *output*: `y·(1 - y)`.
+    SigmoidGrad,
 }
 
 impl UnaryOp {
-    /// Applies the op to one element.
+    /// Applies the op to one element. The transcendentals route through the
+    /// [`crate::simd`] scalar forms (lane 0 of the eight-lane kernel on a
+    /// splat), so scalar and vector evaluation agree bit for bit.
     #[inline]
     pub fn eval(self, v: f32) -> f32 {
         match self {
             UnaryOp::Neg => -v,
-            UnaryOp::Exp => v.exp(),
+            UnaryOp::Exp => simd::exp(v),
             UnaryOp::Ln => v.ln(),
             UnaryOp::Sqrt => v.sqrt(),
-            UnaryOp::Tanh => v.tanh(),
-            UnaryOp::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            UnaryOp::Tanh => simd::tanh(v),
+            UnaryOp::Sigmoid => simd::sigmoid(v),
             UnaryOp::Relu => v.max(0.0),
             UnaryOp::LeakyRelu(alpha) => {
                 if v >= 0.0 {
@@ -98,6 +110,27 @@ impl UnaryOp {
                     alpha
                 }
             }
+            UnaryOp::TanhGrad => 1.0 - v * v,
+            UnaryOp::SigmoidGrad => v * (1.0 - v),
+        }
+    }
+
+    /// Applies the op across a slice, appending to `out`. Ops with a lane
+    /// kernel run eight-wide through [`simd::map_slice`]; the rest fall back
+    /// to a scalar loop over [`UnaryOp::eval`]. Either way element `i` of
+    /// the result depends on `src[i]` alone, so the caller may cut `src`
+    /// into chunks at any boundary without changing a single output bit.
+    #[inline]
+    pub(crate) fn apply_slice(self, src: &[f32], out: &mut Vec<f32>) {
+        match self {
+            UnaryOp::Tanh => simd::map_slice(src, out, simd::tanh8),
+            UnaryOp::Sigmoid => simd::map_slice(src, out, simd::sigmoid8),
+            UnaryOp::Exp => simd::map_slice(src, out, simd::exp8),
+            UnaryOp::Relu => simd::map_slice(src, out, simd::relu8),
+            UnaryOp::LeakyRelu(alpha) => simd::map_slice(src, out, |x| simd::leaky_relu8(x, alpha)),
+            UnaryOp::TanhGrad => simd::map_slice(src, out, simd::tanh_grad8),
+            UnaryOp::SigmoidGrad => simd::map_slice(src, out, simd::sigmoid_grad8),
+            _ => out.extend(src.iter().map(|&v| self.eval(v))),
         }
     }
 }
@@ -118,21 +151,6 @@ pub enum FusedAct {
     /// `x` for `x ≥ 0`, else `αx`. The graph layer requires `α > 0` so the
     /// backward mask can be recovered from the fused *output* sign.
     LeakyRelu(f32),
-}
-
-impl FusedAct {
-    /// The elementwise kernel this activation fuses. The fused path
-    /// evaluates the *same* [`UnaryOp::eval`] arithmetic, which is what
-    /// makes fused and unfused results bit-identical.
-    #[inline]
-    pub(crate) fn unary(self) -> UnaryOp {
-        match self {
-            FusedAct::Relu => UnaryOp::Relu,
-            FusedAct::Tanh => UnaryOp::Tanh,
-            FusedAct::Sigmoid => UnaryOp::Sigmoid,
-            FusedAct::LeakyRelu(alpha) => UnaryOp::LeakyRelu(alpha),
-        }
-    }
 }
 
 /// Elementwise binary kernels (same-shape fast path of `zip`).
@@ -166,14 +184,16 @@ fn elem_chunks(len: usize) -> usize {
     len.div_ceil(ELEM_BLOCK)
 }
 
-/// Elementwise unary map. Chunked over the pool for large inputs; each
+/// Elementwise unary map. Sub-threshold inputs run inline (no pool handoff
+/// — the parallel path's input snapshot and closure dispatch cost more than
+/// small ops themselves); larger inputs are chunked over the pool. Each
 /// element's value never depends on its chunk, so any execution order is
 /// bitwise identical.
 pub(crate) fn unary(data: &[f32], op: UnaryOp) -> Vec<f32> {
     let len = data.len();
-    if pool::threads() == 1 || len <= ELEM_BLOCK {
+    if pool::threads() == 1 || len < dispatch::elem_par_min() {
         let mut out = pool_mem::take(len);
-        out.extend(data.iter().map(|&v| op.eval(v)));
+        op.apply_slice(data, &mut out);
         return out;
     }
     let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
@@ -181,19 +201,33 @@ pub(crate) fn unary(data: &[f32], op: UnaryOp) -> Vec<f32> {
         let lo = i * ELEM_BLOCK;
         let hi = (lo + ELEM_BLOCK).min(len);
         let mut out = pool_mem::take(hi - lo);
-        out.extend(shared[lo..hi].iter().map(|&v| op.eval(v)));
+        op.apply_slice(&shared[lo..hi], &mut out);
         out
     });
     stitch(chunks, len)
 }
 
-/// Elementwise binary map over equal-length buffers.
+/// Applies a binary op across equal-length slices through the eight-lane
+/// [`simd::zip_slice`] kernel. Lanewise pure, so chunk cuts are
+/// unobservable — the same argument as [`UnaryOp::apply_slice`].
+#[inline]
+fn zip_op(a: &[f32], b: &[f32], out: &mut Vec<f32>, op: BinaryOp) {
+    match op {
+        BinaryOp::Add => simd::zip_slice(a, b, out, |x, y| x.add(y)),
+        BinaryOp::Sub => simd::zip_slice(a, b, out, |x, y| x.sub(y)),
+        BinaryOp::Mul => simd::zip_slice(a, b, out, |x, y| x.mul(y)),
+        BinaryOp::Div => simd::zip_slice(a, b, out, |x, y| x.div(y)),
+    }
+}
+
+/// Elementwise binary map over equal-length buffers; same dispatch rule as
+/// [`unary`].
 pub(crate) fn binary(a: &[f32], b: &[f32], op: BinaryOp) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len());
     let len = a.len();
-    if pool::threads() == 1 || len <= ELEM_BLOCK {
+    if pool::threads() == 1 || len < dispatch::elem_par_min() {
         let mut out = pool_mem::take(len);
-        out.extend(a.iter().zip(b).map(|(&x, &y)| op.eval(x, y)));
+        zip_op(a, b, &mut out, op);
         return out;
     }
     let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
@@ -202,7 +236,7 @@ pub(crate) fn binary(a: &[f32], b: &[f32], op: BinaryOp) -> Vec<f32> {
         let lo = i * ELEM_BLOCK;
         let hi = (lo + ELEM_BLOCK).min(len);
         let mut out = pool_mem::take(hi - lo);
-        out.extend(a[lo..hi].iter().zip(&b[lo..hi]).map(|(&x, &y)| op.eval(x, y)));
+        zip_op(&a[lo..hi], &b[lo..hi], &mut out, op);
         out
     });
     stitch(chunks, len)
@@ -245,7 +279,7 @@ fn reduce(data: &[f32], leaf: fn(&[f32]) -> f32) -> f32 {
     }
     let n_chunks = len.div_ceil(REDUCE_BLOCK);
     let bounds = move |i: usize| (i * REDUCE_BLOCK, ((i + 1) * REDUCE_BLOCK).min(len));
-    let partials: Vec<f32> = if pool::threads() == 1 || len < REDUCE_PAR_MIN {
+    let partials: Vec<f32> = if pool::threads() == 1 || len < dispatch::reduce_par_min() {
         (0..n_chunks)
             .map(|i| {
                 let (lo, hi) = bounds(i);
@@ -263,11 +297,11 @@ fn reduce(data: &[f32], leaf: fn(&[f32]) -> f32) -> f32 {
 }
 
 fn leaf_sum(chunk: &[f32]) -> f32 {
-    chunk.iter().sum()
+    simd::sum(chunk)
 }
 
 fn leaf_sum_squares(chunk: &[f32]) -> f32 {
-    chunk.iter().map(|v| v * v).sum()
+    simd::sum_squares(chunk)
 }
 
 /// Deterministic sum of all elements.
@@ -306,12 +340,13 @@ pub(crate) fn col_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
         }
         acc
     };
-    let mut partials: Vec<Vec<f32>> = if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
-        (0..n_chunks).map(|i| accumulate(i, data)).collect()
-    } else {
-        let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
-        pool::run_chunks(n_chunks, move |i| accumulate(i, &shared))
-    };
+    let mut partials: Vec<Vec<f32>> =
+        if pool::threads() == 1 || data.len() < dispatch::reduce_par_min() {
+            (0..n_chunks).map(|i| accumulate(i, data)).collect()
+        } else {
+            let shared: Arc<Vec<f32>> = Arc::new(data.to_vec());
+            pool::run_chunks(n_chunks, move |i| accumulate(i, &shared))
+        };
     while partials.len() > 1 {
         partials = partials
             .chunks_mut(2)
@@ -346,7 +381,7 @@ pub(crate) fn row_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
         out.extend((lo..hi).map(|r| leaf_sum(&data[r * cols..(r + 1) * cols])));
         out
     };
-    if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
+    if pool::threads() == 1 || data.len() < dispatch::reduce_par_min() {
         let chunks: Vec<Vec<f32>> = (0..n_chunks).map(|i| accumulate(i, data)).collect();
         stitch(chunks, rows)
     } else {
@@ -354,27 +389,6 @@ pub(crate) fn row_sums(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
         let chunks = pool::run_chunks(n_chunks, move |i| accumulate(i, &shared));
         stitch(chunks, rows)
     }
-}
-
-/// Dot product with eight independent accumulator lanes (auto-vectorizes)
-/// combined in a fixed shape, so the result is a pure function of the
-/// operands.
-#[inline]
-fn dot(x: &[f32], y: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let mut xi = x.chunks_exact(8);
-    let mut yi = y.chunks_exact(8);
-    for (xc, yc) in (&mut xi).zip(&mut yi) {
-        for l in 0..8 {
-            acc[l] += xc[l] * yc[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (xv, yv) in xi.remainder().iter().zip(yi.remainder()) {
-        tail += xv * yv;
-    }
-    let head = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
-    head + tail
 }
 
 /// Packs the RHS into its transpose so the dot kernel streams both
@@ -396,7 +410,7 @@ fn dense_rows(a: &[f32], bt: &[f32], k: usize, m: usize, r0: usize, r1: usize) -
     for i in r0..r1 {
         let a_row = &a[i * k..(i + 1) * k];
         for j in 0..m {
-            out.push(dot(a_row, &bt[j * k..(j + 1) * k]));
+            out.push(simd::dot(a_row, &bt[j * k..(j + 1) * k]));
         }
     }
     out
@@ -437,7 +451,7 @@ pub(crate) fn matmul(n: usize, k: usize, m: usize, a: &[f32], b: &[f32]) -> Vec<
 
     let n_chunks = n.div_ceil(ROW_BLOCK);
     let bounds = move |i: usize| (i * ROW_BLOCK, ((i + 1) * ROW_BLOCK).min(n));
-    let parallel = pool::threads() > 1 && n_chunks > 1 && n * k * m >= MATMUL_PAR_MIN;
+    let parallel = pool::threads() > 1 && n_chunks > 1 && n * k * m >= dispatch::matmul_par_min();
 
     let chunks: Vec<Vec<f32>> = if sparse {
         if parallel {
@@ -483,10 +497,11 @@ pub(crate) fn matmul(n: usize, k: usize, m: usize, a: &[f32], b: &[f32]) -> Vec<
 /// matmul output block.
 ///
 /// Bit-identity with the unfused composition is by construction: the
-/// matmul is the *same* kernel, and the bias add + activation evaluate
-/// exactly the arithmetic the broadcasting `add` and elementwise
-/// [`UnaryOp::eval`] would — `act.eval(xw[r·m + c] + bias[c])` per element,
-/// which is order-independent and therefore thread-count independent.
+/// matmul is the *same* kernel, and the per-row [`simd::bias_act_row`] pass
+/// evaluates exactly the arithmetic the broadcasting `add` and elementwise
+/// [`UnaryOp::apply_slice`] would — `act(xw[r·m + c] + bias[c])` per
+/// element through the same lanewise-pure kernel, so neither the row-major
+/// lane grouping nor the thread count is observable in the output bits.
 pub(crate) fn affine_act(
     n: usize,
     k: usize,
@@ -498,11 +513,31 @@ pub(crate) fn affine_act(
 ) -> Vec<f32> {
     debug_assert_eq!(bias.len(), m);
     let mut out = matmul(n, k, m, x, w);
-    let op = act.unary();
-    for (i, v) in out.iter_mut().enumerate() {
-        *v = op.eval(*v + bias[i % m]);
+    if m > 0 {
+        match act {
+            FusedAct::Relu => bias_act_rows(&mut out, m, bias, simd::relu8),
+            FusedAct::Tanh => bias_act_rows(&mut out, m, bias, simd::tanh8),
+            FusedAct::Sigmoid => bias_act_rows(&mut out, m, bias, simd::sigmoid8),
+            FusedAct::LeakyRelu(alpha) => {
+                bias_act_rows(&mut out, m, bias, move |v| simd::leaky_relu8(v, alpha))
+            }
+        }
     }
     out
+}
+
+/// Runs the fused bias + activation lane kernel over every `m`-column row
+/// of the matmul output (`m > 0`, checked by the caller).
+#[inline]
+fn bias_act_rows(
+    out: &mut [f32],
+    m: usize,
+    bias: &[f32],
+    f8: impl Fn(simd::F32x8) -> simd::F32x8 + Copy,
+) {
+    for row in out.chunks_exact_mut(m) {
+        simd::bias_act_row(row, bias, f8);
+    }
 }
 
 /// Fused row norm with floor: `sqrt(Σ_cols x² + eps)` per row of a
@@ -530,7 +565,7 @@ pub(crate) fn row_norm_eps(data: &[f32], rows: usize, cols: usize, eps: f32) -> 
         );
         out
     };
-    if pool::threads() == 1 || data.len() < REDUCE_PAR_MIN {
+    if pool::threads() == 1 || data.len() < dispatch::reduce_par_min() {
         let chunks: Vec<Vec<f32>> = (0..n_chunks).map(|i| accumulate(i, data)).collect();
         stitch(chunks, rows)
     } else {
@@ -549,7 +584,7 @@ mod tests {
         let x: Vec<f32> = (1..=19).map(|v| v as f32).collect();
         let y: Vec<f32> = (1..=19).map(|v| (v * 2) as f32).collect();
         let naive: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
-        assert_eq!(dot(&x, &y), naive);
+        assert_eq!(simd::dot(&x, &y), naive);
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //! Hot loops (matmul, elementwise kernels, reductions) run on a
 //! deterministic worker pool ([`pool`]): chunk boundaries depend only on
 //! problem size, so results are **bit-identical** for any `GTV_THREADS`
-//! setting — see DESIGN.md §8 for the full contract.
+//! setting — see DESIGN.md §8 for the full contract. The inner loops are
+//! portable 8-lane SIMD micro-kernels ([`simd`] — vectorized tanh /
+//! sigmoid / exp with documented ULP bounds and bit-identical scalar
+//! tails), and whether an op fans out to the pool at all is a pure
+//! function of problem size ([`dispatch`]), so small ops stay inline on
+//! the calling thread.
 //!
 //! Tensor storage comes from a shape-keyed recycling pool ([`pool_mem`]):
 //! [`Graph::reset`] returns a finished step's node storage for reuse by the
@@ -41,10 +46,12 @@
 //! ```
 
 mod backward;
+pub mod dispatch;
 mod graph;
 mod kernels;
 pub mod pool;
 pub mod pool_mem;
+pub mod simd;
 mod tensor;
 
 pub use graph::{Graph, Var};

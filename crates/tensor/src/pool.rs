@@ -17,6 +17,7 @@
 //! the pool, otherwise it could wait on a slot occupied by itself.
 
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -38,6 +39,19 @@ struct Pool {
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Number of multi-chunk fan-outs actually handed to worker threads.
+/// Incremented only when jobs cross the pool boundary — inline fallbacks
+/// and single-chunk dispatches never touch it — so tests can assert that
+/// sub-threshold work stayed on the calling thread.
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Total worker fan-outs since process start (monotonic). The determinism
+/// contract makes this observable only as scheduling telemetry: *where*
+/// chunks ran, never what they computed.
+pub fn dispatch_count() -> u64 {
+    DISPATCHES.load(Ordering::Relaxed)
+}
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| Pool {
@@ -139,6 +153,7 @@ where
     if n_chunks == 1 {
         return vec![task(0)];
     }
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
 
     type ChunkResult<R> = (usize, std::thread::Result<R>);
     let task = Arc::new(task);

@@ -43,6 +43,15 @@ const MAX_POOLED_BYTES: usize = 256 << 20;
 /// capacity.
 const MAX_SLACK_FACTOR: usize = 4;
 
+/// Requests below this many elements bypass recycling entirely: [`take`]
+/// allocates fresh and [`give`] drops the buffer. A 256-byte allocation is
+/// cheaper than the free-list lookup it would replace — BENCH_step showed
+/// `pool_recycling=true` *losing* steps/s to tiny-shape lookup overhead
+/// (scalars, bias rows, per-row norms) before this floor existed. Counted
+/// separately in [`PoolStats::small`], not as misses, so hit-rate numbers
+/// describe only the traffic the pool actually manages.
+const MIN_RECYCLE_LEN: usize = 64;
+
 thread_local! {
     /// Capacity → stack of parked buffers. Buckets are removed when they
     /// empty, so every key in the map has at least one buffer.
@@ -52,6 +61,7 @@ thread_local! {
     static MISSES: Cell<u64> = const { Cell::new(0) };
     static BYTES_REQUESTED: Cell<u64> = const { Cell::new(0) };
     static BYTES_HELD: Cell<usize> = const { Cell::new(0) };
+    static SMALL: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Snapshot of this thread's allocation counters.
@@ -62,10 +72,13 @@ pub struct PoolStats {
     /// Requests that fell through to a fresh allocation (every request
     /// counts as a miss while recycling is disabled).
     pub misses: u64,
-    /// Total bytes asked for across all requests (hit or miss).
+    /// Total bytes asked for across all requests (hit, miss, or small).
     pub bytes_requested: u64,
     /// Bytes currently parked in this thread's free lists.
     pub bytes_held: usize,
+    /// Requests below the recycling floor, served by fresh allocation
+    /// regardless of pool state (neither hits nor misses).
+    pub small: u64,
 }
 
 /// Turns recycling on or off for the calling thread. Counters keep running
@@ -89,15 +102,17 @@ pub fn stats() -> PoolStats {
         misses: MISSES.with(Cell::get),
         bytes_requested: BYTES_REQUESTED.with(Cell::get),
         bytes_held: BYTES_HELD.with(Cell::get),
+        small: SMALL.with(Cell::get),
     }
 }
 
-/// Zeroes this thread's hit/miss/bytes-requested counters (parked buffers
-/// and `bytes_held` are untouched).
+/// Zeroes this thread's hit/miss/small/bytes-requested counters (parked
+/// buffers and `bytes_held` are untouched).
 pub fn reset_stats() {
     HITS.with(|c| c.set(0));
     MISSES.with(|c| c.set(0));
     BYTES_REQUESTED.with(|c| c.set(0));
+    SMALL.with(|c| c.set(0));
 }
 
 /// Drops every parked buffer on the calling thread.
@@ -122,11 +137,17 @@ fn try_take(len: usize) -> Option<Vec<f32>> {
 
 /// Hands out an *empty* buffer with capacity ≥ `len`: a parked one when
 /// available and recycling is enabled, a fresh allocation otherwise.
+/// Requests below [`MIN_RECYCLE_LEN`] always allocate fresh (see the
+/// constant's docs) and count as `small` rather than misses.
 pub(crate) fn take(len: usize) -> Vec<f32> {
     if len == 0 {
         return Vec::new();
     }
     BYTES_REQUESTED.with(|b| b.set(b.get() + (len as u64) * 4));
+    if len < MIN_RECYCLE_LEN {
+        SMALL.with(|c| c.set(c.get() + 1));
+        return Vec::with_capacity(len);
+    }
     if enabled() {
         if let Some(buf) = try_take(len) {
             HITS.with(|c| c.set(c.get() + 1));
@@ -150,11 +171,11 @@ pub(crate) fn take_filled(len: usize, v: f32) -> Vec<f32> {
 }
 
 /// Parks `buf`'s storage for reuse. No-op when recycling is disabled, the
-/// buffer has no capacity, or the per-thread budgets are exhausted (the
-/// buffer is then simply dropped).
+/// buffer is below the [`MIN_RECYCLE_LEN`] floor, or the per-thread budgets
+/// are exhausted (the buffer is then simply dropped).
 pub(crate) fn give(mut buf: Vec<f32>) {
     let cap = buf.capacity();
-    if cap == 0 || !enabled() {
+    if cap < MIN_RECYCLE_LEN || !enabled() {
         return;
     }
     if BYTES_HELD.with(Cell::get) + cap * 4 > MAX_POOLED_BYTES {
@@ -203,14 +224,14 @@ mod tests {
     fn slack_is_bounded() {
         fresh();
         give({
-            let mut v = take(100);
-            v.resize(100, 1.0);
+            let mut v = take(400);
+            v.resize(400, 1.0);
             v
         });
-        // 100 ≤ 4·30 is within slack; 100 > 4·10 is not.
-        assert!(take(10).capacity() < 100, "an oversized buffer must not serve a tiny request");
-        let hit = take(30);
-        assert!(hit.capacity() >= 100, "within-slack request should reuse the parked buffer");
+        // 400 ≤ 4·100 is within slack; 400 > 4·64 is not.
+        assert!(take(64).capacity() < 400, "an oversized buffer must not serve a small request");
+        let hit = take(100);
+        assert!(hit.capacity() >= 400, "within-slack request should reuse the parked buffer");
         fresh();
     }
 
@@ -218,27 +239,46 @@ mod tests {
     fn disabled_pool_still_counts_misses() {
         fresh();
         set_enabled(false);
-        give(vec![0.0f32; 8]);
+        give(vec![0.0f32; 64]);
         assert_eq!(stats().bytes_held, 0, "give is a no-op while disabled");
-        let _ = take(8);
+        let _ = take(64);
         let s = stats();
         assert_eq!((s.hits, s.misses), (0, 1));
-        assert_eq!(s.bytes_requested, 32);
+        assert_eq!(s.bytes_requested, 256);
+        fresh();
+    }
+
+    #[test]
+    fn small_requests_bypass_the_pool() {
+        fresh();
+        give(vec![0.0f32; MIN_RECYCLE_LEN - 1]);
+        assert_eq!(stats().bytes_held, 0, "sub-floor buffers are dropped, not parked");
+        give(vec![0.0f32; MIN_RECYCLE_LEN]);
+        assert_eq!(stats().bytes_held, MIN_RECYCLE_LEN * 4, "at-floor buffers are parked");
+        let tiny = take(MIN_RECYCLE_LEN - 1);
+        assert!(tiny.capacity() < MIN_RECYCLE_LEN, "sub-floor requests allocate fresh");
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.small), (0, 0, 1), "{s:?}");
+        assert_eq!(
+            s.bytes_requested,
+            (MIN_RECYCLE_LEN as u64 - 1) * 4,
+            "bytes_requested still covers sub-floor traffic"
+        );
         fresh();
     }
 
     #[test]
     fn zeroed_and_filled_overwrite_recycled_contents() {
         fresh();
-        let mut dirty = take(16);
-        dirty.resize(16, f32::NAN);
+        let mut dirty = take(64);
+        dirty.resize(64, f32::NAN);
         give(dirty);
-        assert!(take_zeroed(16).iter().all(|&v| v == 0.0));
+        assert!(take_zeroed(64).iter().all(|&v| v == 0.0));
         fresh();
-        let mut dirty = take(16);
-        dirty.resize(16, f32::NAN);
+        let mut dirty = take(64);
+        dirty.resize(64, f32::NAN);
         give(dirty);
-        assert!(take_filled(16, 2.5).iter().all(|&v| v == 2.5));
+        assert!(take_filled(64, 2.5).iter().all(|&v| v == 2.5));
         fresh();
     }
 }

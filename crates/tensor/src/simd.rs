@@ -1,0 +1,438 @@
+//! Portable f32x8 micro-kernels — the only sanctioned home for lane-level
+//! vectorization (the xtask L2 determinism lint flags `[f32; 8]` lane code
+//! anywhere else in the tree).
+//!
+//! Everything here is straight-line arithmetic over `[f32; 8]` lane arrays:
+//! no `std::simd`, no intrinsics, no `unsafe`. LLVM's autovectorizer turns
+//! each helper into packed SSE/AVX code while the source stays portable and
+//! the workspace-wide `unsafe_code = "forbid"` holds.
+//!
+//! Determinism contract (DESIGN.md §8):
+//!
+//! * every lane operation is **lanewise pure** — lane `i` of a result
+//!   depends only on lane `i` of the inputs — so how a buffer is cut into
+//!   groups of eight is unobservable in the output bits;
+//! * horizontal reductions ([`dot`], [`sum`], [`sum_squares`]) accumulate
+//!   into eight fixed lanes combined in one fixed order,
+//!   `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`, plus a sequential tail, so
+//!   the rounding tree is a pure function of the slice length;
+//! * the scalar transcendentals ([`tanh`], [`sigmoid`], [`exp`]) are defined
+//!   as lane 0 of the eight-lane kernel applied to a splat, which makes
+//!   scalar tails bit-identical to vector lanes *by construction*;
+//! * no helper uses a fused multiply-add: `mul_add`-shaped expressions are
+//!   written as two separately rounded operations, so results do not depend
+//!   on whether the target has FMA hardware.
+//!
+//! # Approximation accuracy
+//!
+//! [`tanh`] is the rational approximation popularized by Eigen/XLA: an odd
+//! degree-13 numerator over an even degree-6 denominator in `x²`, input
+//! clamped to ±[`TANH_CLAMP`], with a pass-through for `|x| <`
+//! [`TANH_TINY`] (which keeps subnormals and ±0.0 exact). [`exp`] is a
+//! classic Cody–Waite reduction (`x = n·ln2 + r`, `|r| ≤ ln2/2`) with a
+//! degree-7 Taylor core and a split power-of-two rescale; inputs beyond
+//! ±[`EXP_CLAMP_HI`]/[`EXP_CLAMP_LO`] saturate to `+∞` / `+0.0` (a
+//! flush-to-zero of sub-minimal-normal results). [`sigmoid`] is
+//! `1 / (1 + exp(-x))` on top of that — structurally the same formula the
+//! scalar libm path used before. The observed worst-case error versus libm
+//! over a dense sweep of [-20, 20] plus edge values is asserted by
+//! `crates/tensor/tests/simd_math.rs` and documented in DESIGN.md §8:
+//! ≤ [`TANH_MAX_ULP`] ULP for tanh and ≤ [`SIGMOID_MAX_ULP`] ULP for
+//! sigmoid at f32.
+
+/// Lane width of every kernel in this module.
+pub const LANES: usize = 8;
+
+/// Asserted upper bound (in f32 ULP) on `|tanh(x) − libm tanh(x)|` over the
+/// sweep in `tests/simd_math.rs`.
+pub const TANH_MAX_ULP: u32 = 8;
+
+/// Asserted upper bound (in f32 ULP) on `|sigmoid(x) − 1/(1+expf(−x))|`
+/// over the sweep in `tests/simd_math.rs`.
+pub const SIGMOID_MAX_ULP: u32 = 8;
+
+/// Eight f32 lanes. A plain array wrapper: safe Rust, fixed width, written
+/// so LLVM autovectorizes every lanewise helper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct F32x8(pub(crate) [f32; LANES]);
+
+impl F32x8 {
+    #[inline(always)]
+    pub(crate) fn splat(v: f32) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Loads the first eight elements of `s` (`s.len() ≥ 8`).
+    #[inline(always)]
+    pub(crate) fn load(s: &[f32]) -> Self {
+        let mut lanes = [0.0; LANES];
+        lanes.copy_from_slice(&s[..LANES]);
+        Self(lanes)
+    }
+
+    /// Stores the lanes into the first eight elements of `out`.
+    #[inline(always)]
+    pub(crate) fn store(self, out: &mut [f32]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    pub(crate) fn map(self, f: impl Fn(f32) -> f32) -> Self {
+        Self(std::array::from_fn(|i| f(self.0[i])))
+    }
+
+    #[inline(always)]
+    pub(crate) fn zip(self, o: Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        Self(std::array::from_fn(|i| f(self.0[i], o.0[i])))
+    }
+
+    #[inline(always)]
+    pub(crate) fn add(self, o: Self) -> Self {
+        self.zip(o, |a, b| a + b)
+    }
+
+    #[inline(always)]
+    pub(crate) fn sub(self, o: Self) -> Self {
+        self.zip(o, |a, b| a - b)
+    }
+
+    #[inline(always)]
+    pub(crate) fn mul(self, o: Self) -> Self {
+        self.zip(o, |a, b| a * b)
+    }
+
+    #[inline(always)]
+    pub(crate) fn div(self, o: Self) -> Self {
+        self.zip(o, |a, b| a / b)
+    }
+
+    /// `self·m + a` per lane as **two rounded ops** (never an FMA).
+    #[inline(always)]
+    fn mul_add_s(self, m: f32, a: f32) -> Self {
+        self.map(|v| v * m + a)
+    }
+
+    /// `self·m` per lane.
+    #[inline(always)]
+    fn mul_s(self, m: f32) -> Self {
+        self.map(|v| v * m)
+    }
+
+    /// Fixed-order horizontal sum: `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`.
+    /// This is the one place lanes meet; the order never varies.
+    #[inline(always)]
+    fn hsum(self) -> f32 {
+        let l = self.0;
+        ((l[0] + l[4]) + (l[1] + l[5])) + ((l[2] + l[6]) + (l[3] + l[7]))
+    }
+}
+
+// --- rational tanh -------------------------------------------------------
+
+/// Clamp bound of the rational tanh core. `tanh(7.90531) = 1 − 2.6e-7`, so
+/// saturating here leaves large arguments ~4 ULP below ±1.0 — inside the
+/// documented [`TANH_MAX_ULP`] budget.
+const TANH_CLAMP: f32 = 7.905_311;
+/// Below this magnitude the approximation returns `x` itself (the true
+/// series is `x − x³/3 + …`, and `x³/3` underflows the f32 grid), keeping
+/// ±0.0 and subnormals exact.
+const TANH_TINY: f32 = 4e-4;
+// Odd numerator / even denominator coefficients of the Eigen/XLA rational
+// approximation, highest degree first.
+const TANH_ALPHA: [f32; 7] = [
+    -2.760_768_4e-16,
+    2.000_188e-13,
+    -8.604_672e-11,
+    5.122_297_3e-8,
+    1.485_722_35e-5,
+    6.372_619_5e-4,
+    4.893_524_6e-3,
+];
+const TANH_BETA: [f32; 4] = [1.198_258_4e-6, 1.185_347_1e-4, 2.268_434_7e-3, 4.893_525e-3];
+
+/// Eight-lane rational tanh. Lanewise pure; see the module docs for the
+/// accuracy contract.
+#[inline]
+pub(crate) fn tanh8(x: F32x8) -> F32x8 {
+    #[allow(clippy::manual_clamp)] // max/min squash NaN lanes to a finite value; clamp keeps NaN
+    let xc = x.map(|v| v.max(-TANH_CLAMP).min(TANH_CLAMP));
+    let x2 = xc.mul(xc);
+    let mut p = F32x8::splat(TANH_ALPHA[0]);
+    for &c in &TANH_ALPHA[1..] {
+        p = p.mul(x2).map(|v| v + c);
+    }
+    let p = p.mul(xc);
+    let mut q = F32x8::splat(TANH_BETA[0]);
+    for &c in &TANH_BETA[1..] {
+        q = q.mul(x2).map(|v| v + c);
+    }
+    let r = p.div(q);
+    // Pass tiny inputs through unchanged and restore NaN (the clamp above
+    // silently turns NaN lanes into ±TANH_CLAMP — Rust's min/max drop NaN).
+    x.zip(r, |xi, ri| if xi.is_nan() || xi.abs() < TANH_TINY { xi } else { ri })
+}
+
+// --- Cody–Waite exp ------------------------------------------------------
+
+/// Inputs above this overflow f32 (`ln(f32::MAX)`): the kernel returns `+∞`.
+const EXP_CLAMP_HI: f32 = 88.722_84;
+/// Inputs below this produce sub-minimal-normal results (`ln` of the
+/// smallest normal f32): the kernel flushes them to `+0.0`.
+const EXP_CLAMP_LO: f32 = -87.336_54;
+/// `1.5·2²³` — adding and subtracting it rounds a float (|v| ≤ 2²²) to the
+/// nearest integer without a branch or a libm `round` call.
+const EXP_MAGIC: f32 = 12_582_912.0;
+/// `ln 2` split into an 11-bit-exact high part and a low correction, so
+/// `x − n·LN2_HI` is exact for `|n| ≤ 2⁸` (Cody–Waite range reduction).
+const EXP_LN2_HI: f32 = 0.693_359_4;
+const EXP_LN2_LO: f32 = -2.121_944_4e-4;
+/// Taylor coefficients `1/k!` for `k = 7 … 2` (highest degree first); the
+/// final `+ r + 1` steps are folded into the Horner loop's tail.
+const EXP_POLY: [f32; 6] = [1.0 / 5040.0, 1.0 / 720.0, 1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5];
+
+/// Eight-lane `e^x`: Cody–Waite reduction, degree-7 Taylor core, split
+/// power-of-two rescale. Lanewise pure.
+#[inline]
+pub(crate) fn exp8(x: F32x8) -> F32x8 {
+    #[allow(clippy::manual_clamp)] // max/min squash NaN lanes to a finite value; clamp keeps NaN
+    let xc = x.map(|v| v.max(EXP_CLAMP_LO).min(EXP_CLAMP_HI));
+    // n = round(x / ln 2) via the magic-number shift; n ∈ [-126, 128].
+    let shifted = xc.mul_add_s(std::f32::consts::LOG2_E, EXP_MAGIC);
+    let n = shifted.map(|v| v - EXP_MAGIC);
+    // r = x − n·ln2 in two steps; |r| ≤ ln2/2 + 1 ULP.
+    let r = xc.sub(n.mul_s(EXP_LN2_HI)).sub(n.mul_s(EXP_LN2_LO));
+    let mut p = F32x8::splat(EXP_POLY[0]);
+    for &c in &EXP_POLY[1..] {
+        p = p.mul(r).map(|v| v + c);
+    }
+    // Degree-1 and degree-0 terms (both 1.0) finish the Horner chain.
+    let p = p.mul(r).map(|v| v + 1.0);
+    let p = p.mul(r).map(|v| v + 1.0);
+    // Scale by 2^n in two halves so n = 128 (x near ln MAX) stays finite:
+    // 2^n = 2^(n/2) · 2^(n−n/2), each half's biased exponent in [1, 254].
+    let y = p.zip(n, |pi, nf| {
+        let ni = nf as i32;
+        let half = ni >> 1;
+        let s1 = f32::from_bits(((half + 127) as u32) << 23);
+        let s2 = f32::from_bits((((ni - half) + 127) as u32) << 23);
+        (pi * s1) * s2
+    });
+    // Saturate against the *unclamped* input and restore NaN lanes. Three
+    // independent single-compare passes, each a compare + select that LLVM
+    // keeps vectorized (one fused multi-branch select does not).
+    let y = x.zip(y, |xi, yi| if xi > EXP_CLAMP_HI { f32::INFINITY } else { yi });
+    let y = x.zip(y, |xi, yi| if xi < EXP_CLAMP_LO { 0.0 } else { yi });
+    x.zip(y, |xi, yi| if xi.is_nan() { xi } else { yi })
+}
+
+/// Eight-lane logistic sigmoid `1 / (1 + e^{−x})` — structurally the same
+/// formula the scalar libm path used, with [`exp8`] supplying the
+/// exponential. Lanewise pure.
+#[inline]
+pub(crate) fn sigmoid8(x: F32x8) -> F32x8 {
+    exp8(x.map(|v| -v)).map(|e| 1.0 / (1.0 + e))
+}
+
+/// Eight-lane derivative-from-output of tanh: `1 − y²`. Bit-identical to
+/// the unfused `neg(mul(y,y))` → `add_scalar(·, 1)` chain (IEEE `a − b` is
+/// exactly `(−b) + a`). Lanewise pure.
+#[inline]
+pub(crate) fn tanh_grad8(y: F32x8) -> F32x8 {
+    y.map(|v| 1.0 - v * v)
+}
+
+/// Eight-lane derivative-from-output of sigmoid: `y·(1 − y)`, bit-identical
+/// to the unfused `mul(y, add_scalar(neg(y), 1))` chain. Lanewise pure.
+#[inline]
+pub(crate) fn sigmoid_grad8(y: F32x8) -> F32x8 {
+    y.map(|v| v * (1.0 - v))
+}
+
+/// Eight-lane `max(x, 0)` (same NaN→0 semantics as `f32::max`).
+#[inline]
+pub(crate) fn relu8(x: F32x8) -> F32x8 {
+    x.map(|v| v.max(0.0))
+}
+
+/// Eight-lane leaky ReLU: `x` for `x ≥ 0`, else `α·x`.
+#[inline]
+pub(crate) fn leaky_relu8(x: F32x8, alpha: f32) -> F32x8 {
+    x.map(|v| if v >= 0.0 { v } else { alpha * v })
+}
+
+// --- scalar forms --------------------------------------------------------
+
+/// Scalar tanh — lane 0 of [`tanh8`] on a splat, so tails and lanes agree
+/// bit for bit.
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    tanh8(F32x8::splat(x)).0[0]
+}
+
+/// Scalar sigmoid — lane 0 of [`sigmoid8`] on a splat.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    sigmoid8(F32x8::splat(x)).0[0]
+}
+
+/// Scalar exp — lane 0 of [`exp8`] on a splat.
+#[inline]
+pub fn exp(x: f32) -> f32 {
+    exp8(F32x8::splat(x)).0[0]
+}
+
+// --- slice kernels -------------------------------------------------------
+
+/// Applies the lane kernel `f8` across `src`, appending to `out`: full
+/// eight-lane groups first, then the ≤7-element tail through the identical
+/// splat/lane-0 path. Because `f8` is lanewise pure, element `i` of the
+/// result is a function of `src[i]` alone — chunking is unobservable.
+#[inline]
+pub(crate) fn map_slice(src: &[f32], out: &mut Vec<f32>, f8: impl Fn(F32x8) -> F32x8) {
+    let mut groups = src.chunks_exact(LANES);
+    for g in &mut groups {
+        out.extend_from_slice(&f8(F32x8::load(g)).0);
+    }
+    for &v in groups.remainder() {
+        out.push(f8(F32x8::splat(v)).0[0]);
+    }
+}
+
+/// Elementwise binary map over equal-length slices with the lane kernel
+/// `f8`; same tail discipline as [`map_slice`].
+#[inline]
+pub(crate) fn zip_slice(
+    a: &[f32],
+    b: &[f32],
+    out: &mut Vec<f32>,
+    f8: impl Fn(F32x8, F32x8) -> F32x8,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ag = a.chunks_exact(LANES);
+    let mut bg = b.chunks_exact(LANES);
+    for (ac, bc) in (&mut ag).zip(&mut bg) {
+        out.extend_from_slice(&f8(F32x8::load(ac), F32x8::load(bc)).0);
+    }
+    for (&x, &y) in ag.remainder().iter().zip(bg.remainder()) {
+        out.push(f8(F32x8::splat(x), F32x8::splat(y)).0[0]);
+    }
+}
+
+/// Fused bias + activation over one output row: `row[j] = f8(row[j] +
+/// bias[j])` with eight-lane groups and the splat tail. The arithmetic per
+/// element is exactly `act(v + b)` — identical to the unfused broadcast-add
+/// followed by the elementwise activation.
+#[inline]
+pub(crate) fn bias_act_row(row: &mut [f32], bias: &[f32], f8: impl Fn(F32x8) -> F32x8) {
+    debug_assert_eq!(row.len(), bias.len());
+    let mut rg = row.chunks_exact_mut(LANES);
+    let mut bg = bias.chunks_exact(LANES);
+    for (rc, bc) in (&mut rg).zip(&mut bg) {
+        f8(F32x8::load(rc).add(F32x8::load(bc))).store(rc);
+    }
+    for (r, &b) in rg.into_remainder().iter_mut().zip(bg.remainder()) {
+        *r = f8(F32x8::splat(*r + b)).0[0];
+    }
+}
+
+// --- fixed-shape reductions ----------------------------------------------
+
+/// Sum with eight independent accumulator lanes combined in the fixed
+/// [`F32x8::hsum`] order plus a sequential tail — the rounding tree depends
+/// only on `xs.len()`.
+#[inline]
+pub fn sum(xs: &[f32]) -> f32 {
+    let mut acc = F32x8::splat(0.0);
+    let mut groups = xs.chunks_exact(LANES);
+    for g in &mut groups {
+        acc = acc.add(F32x8::load(g));
+    }
+    let mut s = acc.hsum();
+    for &v in groups.remainder() {
+        s += v;
+    }
+    s
+}
+
+/// Sum of squares with the same lane/combine/tail shape as [`sum`].
+#[inline]
+pub fn sum_squares(xs: &[f32]) -> f32 {
+    let mut acc = F32x8::splat(0.0);
+    let mut groups = xs.chunks_exact(LANES);
+    for g in &mut groups {
+        let v = F32x8::load(g);
+        acc = acc.add(v.mul(v));
+    }
+    let mut s = acc.hsum();
+    for &v in groups.remainder() {
+        s += v * v;
+    }
+    s
+}
+
+/// Dot product with the same lane/combine/tail shape as [`sum`]; the result
+/// is a pure function of the operands.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = F32x8::splat(0.0);
+    let mut xg = x.chunks_exact(LANES);
+    let mut yg = y.chunks_exact(LANES);
+    for (xc, yc) in (&mut xg).zip(&mut yg) {
+        acc = acc.add(F32x8::load(xc).mul(F32x8::load(yc)));
+    }
+    let mut s = acc.hsum();
+    for (&a, &b) in xg.remainder().iter().zip(yg.remainder()) {
+        s += a * b;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_forms_are_lane_zero_of_the_lane_kernels() {
+        for &v in &[-3.0f32, -0.2, 0.0, 0.4, 2.5, 9.0] {
+            assert_eq!(tanh(v).to_bits(), tanh8(F32x8::splat(v)).0[0].to_bits());
+            assert_eq!(sigmoid(v).to_bits(), sigmoid8(F32x8::splat(v)).0[0].to_bits());
+            assert_eq!(exp(v).to_bits(), exp8(F32x8::splat(v)).0[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn lane_position_is_unobservable() {
+        // The same value must produce the same bits in every lane slot.
+        let xs = [-5.0f32, -1.0, -0.25, 0.0, 0.25, 1.0, 5.0, 20.0];
+        let lanes = tanh8(F32x8(xs));
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(lanes.0[i].to_bits(), tanh(x).to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn sum_matches_integer_arithmetic() {
+        let xs: Vec<f32> = (0..1000).map(|v| (v % 11) as f32).collect();
+        let expected: f32 = xs.iter().sum();
+        assert_eq!(sum(&xs), expected);
+    }
+
+    #[test]
+    fn exp_edge_values() {
+        assert_eq!(exp(0.0), 1.0);
+        assert_eq!(exp(f32::NEG_INFINITY), 0.0);
+        assert_eq!(exp(f32::INFINITY), f32::INFINITY);
+        assert!(exp(f32::NAN).is_nan());
+        assert_eq!(exp(-200.0), 0.0);
+        assert_eq!(exp(200.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn tanh_edge_values() {
+        assert_eq!(tanh(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(tanh(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert!(tanh(f32::NAN).is_nan());
+        assert!((tanh(f32::INFINITY) - 1.0).abs() < 1e-6);
+        assert!((tanh(f32::NEG_INFINITY) + 1.0).abs() < 1e-6);
+    }
+}

@@ -4,10 +4,19 @@
 //! every tested `GTV_THREADS` value. Gradients are additionally checked
 //! against central finite differences.
 
-use gtv_tensor::{pool, FusedAct, Graph, Tensor, Var};
+use gtv_tensor::{dispatch, pool, FusedAct, Graph, Tensor, Var};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Lowers the size-keyed dispatch thresholds so these proptest shapes
+/// genuinely cross the worker pool at `threads > 1` (the production
+/// defaults would keep them inline). Same values in every test; never
+/// restored, since the override is process-global and tests run
+/// concurrently.
+fn force_pool_dispatch() {
+    dispatch::set_par_mins(1_024, 1_024, 8_192);
+}
 
 const ACTS: [FusedAct; 4] =
     [FusedAct::Relu, FusedAct::Tanh, FusedAct::Sigmoid, FusedAct::LeakyRelu(0.2)];
@@ -88,6 +97,7 @@ proptest! {
         w0 in tensor_strategy(40, 24),
         b0 in tensor_strategy(1, 24)
     ) {
+        force_pool_dispatch();
         for act in ACTS {
             let mut reference: Option<Vec<u32>> = None;
             for &threads in &THREAD_COUNTS {
@@ -112,6 +122,7 @@ proptest! {
 
     #[test]
     fn fused_row_norm_matches_unfused_bit_for_bit(x0 in tensor_strategy(130, 34)) {
+        force_pool_dispatch();
         let mut reference: Option<Vec<u32>> = None;
         for &threads in &THREAD_COUNTS {
             pool::set_threads(threads);

@@ -1,10 +1,12 @@
 //! The worker pool's determinism contract, checked bit-for-bit: matmul,
 //! elementwise kernels, reductions and gradients (including the WGAN-GP
 //! double-backward shape) must produce identical bits for `GTV_THREADS`
-//! ∈ {1, 2, 8}. Shapes are chosen above the parallel-dispatch thresholds
-//! so the multi-threaded runs genuinely cross the pool.
+//! ∈ {1, 2, 8}. The production dispatch thresholds would keep these small
+//! proptest shapes inline, so every run lowers them (same values in every
+//! test — the override is process-global) to force the multi-threaded runs
+//! across the pool for real.
 
-use gtv_tensor::{pool, BinaryOp, Graph, Tensor, UnaryOp};
+use gtv_tensor::{dispatch, pool, BinaryOp, Graph, Tensor, UnaryOp};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -28,8 +30,11 @@ fn bits(t: &Tensor) -> Vec<u32> {
 }
 
 /// Runs `compute` once per thread count and asserts every run returns the
-/// same bits as the single-threaded reference.
+/// same bits as the single-threaded reference. Dispatch thresholds are
+/// lowered (never restored — this binary's tests all want the same values,
+/// and they run concurrently) so these shapes reach the worker pool.
 fn assert_bit_identical(compute: impl Fn() -> Vec<u32>) {
+    dispatch::set_par_mins(1_024, 1_024, 8_192);
     let mut reference: Option<Vec<u32>> = None;
     for &threads in &THREAD_COUNTS {
         pool::set_threads(threads);

@@ -92,7 +92,7 @@ fn graph_reset_parks_non_leaf_storage_and_pins_leaves() {
     pool_mem::reset_stats();
 
     let g = Graph::new();
-    let a = g.leaf(Tensor::full(13, 1, 2.0));
+    let a = g.leaf(Tensor::full(64, 1, 2.0));
     let c = g.add(a, a);
     let d = g.mul(c, a);
     assert_eq!(g.len(), 3);
@@ -100,9 +100,10 @@ fn graph_reset_parks_non_leaf_storage_and_pins_leaves() {
     assert_eq!(released, 3, "reset reports every node it released");
     assert_eq!(g.len(), 0, "the arena must be empty after reset");
 
-    // Two non-leaf nodes of 13 f32s each were parked; the leaf's 13 were
-    // dropped, not parked. 2 × 13 × 4 bytes = 104.
-    assert_eq!(pool_mem::stats().bytes_held, 104, "only non-leaf storage may be recycled");
+    // Two non-leaf nodes of 64 f32s each were parked; the leaf's 64 were
+    // dropped, not parked. 2 × 64 × 4 bytes = 512. (64 elements is exactly
+    // the recycling floor — anything smaller would bypass the pool.)
+    assert_eq!(pool_mem::stats().bytes_held, 512, "only non-leaf storage may be recycled");
     let _ = (c, d);
     pool_mem::clear();
 }
@@ -113,8 +114,11 @@ fn identical_steps_stop_allocating_after_the_first() {
     pool_mem::clear();
     pool_mem::reset_stats();
 
-    let x0 = Tensor::from_fn(11, 5, |r, c| (r * 5 + c) as f32 * 0.1 - 2.0);
-    let w0 = Tensor::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.05);
+    // Shapes chosen so the hot intermediates (17×13 activations, 5×13
+    // gradient) sit above the recycling floor; sub-floor scalars are
+    // counted as `small`, not misses, and don't disturb the plateau.
+    let x0 = Tensor::from_fn(17, 5, |r, c| (r * 5 + c) as f32 * 0.1 - 2.0);
+    let w0 = Tensor::from_fn(5, 13, |r, c| (r * 13 + c) as f32 * 0.05);
     let step = || {
         let g = Graph::new();
         let x = g.leaf(x0.clone());

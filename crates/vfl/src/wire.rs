@@ -387,6 +387,7 @@ fn get_matrix(bytes: &mut Bytes) -> Result<MatrixPayload, DecodeMessageError> {
             }
             let mut data = vec![0.0f32; n];
             let mut prev: Option<u32> = None;
+            // gtv-lint: allow(determinism) -- 8-byte (u32 idx, f32 val) wire records, not f32 lanes
             for chunk in bytes.chunk()[..nnz * 8].chunks_exact(8) {
                 let idx = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
                 let val = f32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);

@@ -849,7 +849,8 @@ fn lint_panic(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec
 }
 
 /// L2: deny ambient randomness and wall-clock reads outside `crates/bench`,
-/// and ad-hoc thread spawns outside the sanctioned worker pool.
+/// ad-hoc thread spawns outside the sanctioned worker pool, and hand-rolled
+/// f32 lane code outside the sanctioned SIMD module.
 fn lint_determinism(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &mut Vec<Finding>) {
     if rel_str.starts_with("crates/bench/") {
         return;
@@ -861,9 +862,30 @@ fn lint_determinism(rel: &Path, rel_str: &str, lines: &[LexedLine], findings: &m
     // from the recycling pool (pool_mem), not the allocator, so the
     // step-scoped memory accounting of DESIGN.md §9 stays exact.
     let is_kernels = rel_str == "crates/tensor/src/kernels.rs";
+    // Lane-level SIMD lives in exactly one module: its fixed lane-combine
+    // order and scalar-equals-lane-0 contract (DESIGN.md §8) are what keep
+    // vectorized results bit-identical to the scalar forms. Hand-rolled
+    // 8-wide float code anywhere else would fork that contract silently.
+    let is_simd = rel_str == "crates/tensor/src/simd.rs";
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
+        }
+        if !is_simd {
+            for token in ["[f32; 8]", "[f32;8]", "chunks_exact(8)"] {
+                if line.code.contains(token)
+                    && !suppressed(lines, idx, Rule::Determinism, rel, findings)
+                {
+                    findings.push(Finding {
+                        file: rel.to_path_buf(),
+                        line: idx + 1,
+                        rule: Rule::Determinism,
+                        message: format!(
+                            "`{token}` looks like hand-rolled f32 lane code; lane-level SIMD is sanctioned only in `gtv_tensor::simd` (crates/tensor/src/simd.rs) (or `// gtv-lint: allow(determinism) -- why`)"
+                        ),
+                    });
+                }
+            }
         }
         if is_kernels {
             for token in ["Vec::with_capacity", "vec![0.0"] {

@@ -29,7 +29,8 @@ fn usage() -> ExitCode {
          \x20                     [--update-baseline] [--max-ms <n>] [--max-pass-ms <n>]\n\n\
          Runs the GTV protocol-invariant lints:\n  \
          L1 panic         no unwrap/expect/panic!/unreachable!/todo! in protocol paths\n  \
-         L2 determinism   no thread_rng/from_entropy/SystemTime::now/Instant::now outside crates/bench\n  \
+         L2 determinism   no thread_rng/from_entropy/SystemTime::now/Instant::now outside crates/bench;\n  \
+         \x20                 lane-level SIMD ([f32; 8], chunks_exact(8)) only in crates/tensor/src/simd.rs\n  \
          L3 float-eq      no ==/!= against float literals in crates/metrics, crates/ml\n  \
          L4 wire          every Message variant has encode and decode arms\n  \
          L5 allow-justification  every #[allow(clippy::...)] carries a trailing // justification\n  \

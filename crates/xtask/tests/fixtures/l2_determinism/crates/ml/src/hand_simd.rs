@@ -1,0 +1,30 @@
+//! Fixture: hand-rolled f32 lane code outside the sanctioned SIMD module.
+
+pub fn hand_dot(xs: &[f32], ys: &[f32]) -> f32 {
+    let mut acc: [f32; 8] = [0.0; 8];
+    for (a, b) in xs.chunks_exact(8).zip(ys.chunks_exact(8)) {
+        for i in 0..8 {
+            acc[i] += a[i] * b[i];
+        }
+    }
+    acc.iter().sum()
+}
+
+pub fn sanctioned_scratch(xs: &[f32]) -> f32 {
+    // gtv-lint: allow(determinism) -- fixed scratch table, no lane arithmetic
+    let lanes: [f32; 8] = [0.0; 8];
+    lanes.iter().sum::<f32>() + xs.len() as f32
+}
+
+pub fn describe() -> &'static str {
+    "code outside the simd module must not use [f32; 8] or chunks_exact(8)"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lanes_in_tests_are_fine() {
+        let acc: [f32; 8] = [1.0; 8];
+        assert_eq!(acc.chunks_exact(8).count(), 1);
+    }
+}

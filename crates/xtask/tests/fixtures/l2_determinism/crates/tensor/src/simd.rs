@@ -1,0 +1,15 @@
+//! Fixture: the sanctioned SIMD module uses lane types freely and must
+//! stay quiet under the lane-token rule.
+
+pub struct F32x8(pub [f32; 8]);
+
+pub fn sum(xs: &[f32]) -> f32 {
+    let mut acc = F32x8([0.0; 8]);
+    let mut groups = xs.chunks_exact(8);
+    for g in &mut groups {
+        for i in 0..8 {
+            acc.0[i] += g[i];
+        }
+    }
+    acc.0.iter().sum::<f32>() + groups.remainder().iter().sum::<f32>()
+}
