@@ -1,0 +1,164 @@
+//! Serving benchmark for the batched synthesis engine (DESIGN.md §14).
+//!
+//! Smoke-trains one Loan model, registers it warm in a [`ModelRegistry`],
+//! then drives the in-process [`SynthService`] with closed-loop clients at
+//! several concurrency levels and emits `BENCH_serve.json` (path
+//! overridable as the first CLI argument). Each client issues requests
+//! back-to-back — under the leader-combining engine, concurrent callers
+//! coalesce into shared batched forward passes, so the sweep shows how
+//! throughput and batch occupancy scale with offered concurrency.
+//!
+//! Per level the artifact records rows/s, request p50/p99 latency (ms),
+//! the mean coalesced batch size and full batch-size histogram from the
+//! engine's own counters, and the tensor pool hit rate (steady-state
+//! serving should allocate nothing — see the zero_alloc serve test).
+//! `GTV_BENCH_REPS` scales requests per client (default 2 → 32 requests).
+
+use gtv::{GtvConfig, GtvTrainer, SynthSpec};
+use gtv_data::Dataset;
+use gtv_serve::{ModelRegistry, RowsRequest, ServeConfig, SynthService};
+use gtv_tensor::pool_mem;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: usize = 96;
+const ROWS_PER_REQUEST: usize = 64;
+const REQUESTS_PER_REP: usize = 16;
+const CONCURRENCY: [usize; 3] = [1, 4, 8];
+const MODEL: &str = "loan";
+
+struct Level {
+    clients: usize,
+    rows_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+    pool_hit_rate: f64,
+    batch_hist: Vec<u64>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_level(service: &Arc<SynthService>, clients: usize, per_client: usize) -> Level {
+    // Warm one request per client so first-touch pool misses and lazy
+    // staging growth stay out of the measured window.
+    for c in 0..clients {
+        let req = request(c as u64, 0);
+        service.request(&req).expect("warm-up request");
+    }
+    service.reset_stats();
+    pool_mem::reset_stats();
+
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(service);
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let req = request(c as u64, i as u64);
+                        let t = Instant::now();
+                        let table = service.request(&req).expect("serving request");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(table.n_rows(), ROWS_PER_REQUEST);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    let mut sorted = latencies;
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Level {
+        clients,
+        rows_per_sec: (clients * per_client * ROWS_PER_REQUEST) as f64 / elapsed,
+        p50_ms: percentile(&sorted, 0.50),
+        p99_ms: percentile(&sorted, 0.99),
+        mean_batch: stats.mean_batch(),
+        pool_hit_rate: stats.pool_hit_rate(),
+        batch_hist: stats.batch_hist.to_vec(),
+    }
+}
+
+fn request(client: u64, i: u64) -> RowsRequest {
+    RowsRequest {
+        model: MODEL.to_string(),
+        // Distinct seed per (client, iteration): results stay
+        // bit-reproducible however the engine groups the requests.
+        spec: SynthSpec { n: ROWS_PER_REQUEST, seed: client * 1_000_003 + i, cond: None },
+        deadline_ticks: None,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let reps: usize =
+        std::env::var("GTV_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let per_client = REQUESTS_PER_REP * reps;
+    eprintln!(
+        "bench_serve: {ROWS_PER_REQUEST} rows/request, {per_client} requests/client, \
+         concurrency {CONCURRENCY:?}"
+    );
+
+    let table = Dataset::Loan.generate(ROWS, 3);
+    let n = table.n_cols();
+    let shards = table.vertical_split(&[(0..n / 2).collect(), (n / 2..n).collect()]);
+    let mut trainer = GtvTrainer::new(shards, GtvConfig::smoke());
+    trainer.train_round().expect("smoke training round");
+    let synth = trainer.synthesizer().expect("synthesizer");
+
+    pool_mem::set_enabled(true);
+    let mut registry = ModelRegistry::new();
+    let parked = registry.insert_warm(MODEL, synth).expect("warm registration");
+    eprintln!("  model '{MODEL}' registered, {parked} buffers pre-warmed");
+    let service = Arc::new(SynthService::new(registry, ServeConfig::default()));
+
+    let mut entries = Vec::new();
+    for &clients in &CONCURRENCY {
+        let level = run_level(&service, clients, per_client);
+        eprintln!(
+            "  clients={clients} {:>9.0} rows/s  p50 {:.2} ms  p99 {:.2} ms  \
+             mean batch {:.1}  pool hit rate {:.3}",
+            level.rows_per_sec, level.p50_ms, level.p99_ms, level.mean_batch, level.pool_hit_rate
+        );
+        let hist: Vec<String> = level.batch_hist.iter().map(u64::to_string).collect();
+        entries.push(format!(
+            "{{\"clients\":{},\"rows_per_sec\":{},\"p50_ms\":{},\"p99_ms\":{},\
+             \"mean_batch\":{},\"pool_hit_rate\":{},\"batch_hist\":[{}]}}",
+            level.clients,
+            json_f(level.rows_per_sec),
+            json_f(level.p50_ms),
+            json_f(level.p99_ms),
+            json_f(level.mean_batch),
+            json_f(level.pool_hit_rate),
+            hist.join(",")
+        ));
+    }
+
+    let json = format!(
+        "{{\"rows_per_request\":{ROWS_PER_REQUEST},\"requests_per_client\":{per_client},\
+         \"reps\":{reps},\"levels\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("writing the benchmark report");
+    println!("wrote {out_path}");
+}

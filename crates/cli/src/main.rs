@@ -16,6 +16,7 @@ use gtv::{GtvConfig, GtvTrainer, NetPartition};
 use gtv_data::{from_csv_string, infer_schema, to_csv_string, Dataset, Table};
 use gtv_metrics::similarity;
 use gtv_ml::utility_difference;
+use gtv_serve::{ModelRegistry, ServeConfig, SynthServer, SynthService};
 use gtv_vfl::{Endpoint, PartitionPlan, PartyId, PartyNode, SocketTransport, Transport};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -35,6 +36,10 @@ USAGE:
   gtv-cli serve-server --input FILE --parties IDX=ENDPOINT[,IDX=ENDPOINT…] --out FILE
                        [--target COL] [--clients N] [--rounds R] [--batch B] [--width W]
                        [--partition d2g0|d2g2] [--seed S] [--sparse-wire true]
+  gtv-cli serve-synth  --input FILE --listen <host:port|unix:PATH> [--model NAME]
+                       [--load-weights FILE] [--target COL] [--clients N] [--rounds R]
+                       [--batch B] [--width W] [--partition d2g0|d2g2] [--seed S]
+                       [--queue-cap N] [--max-batch-rows N] [--max-replies N]
 ";
 
 fn main() -> ExitCode {
@@ -57,6 +62,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "privacy" => privacy(&args),
         "serve-party" => serve_party(&args),
         "serve-server" => serve_server(&args),
+        "serve-synth" => serve_synth(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -380,6 +386,67 @@ fn serve_server(args: &Args) -> Result<(), String> {
         "protocol traffic: {} messages, {:.1} MiB",
         stats.messages,
         stats.bytes as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
+/// Long-lived synthesis service: train (or load) a model once, warm its
+/// buffer pool, then serve batched sampling requests over the serving wire
+/// protocol (`ServeFrame` on length-delimited framing, DESIGN.md §14).
+fn serve_synth(args: &Args) -> Result<(), String> {
+    let input = args.required("input").map_err(|e| e.to_string())?;
+    let listen = Endpoint::parse(args.required("listen").map_err(|e| e.to_string())?);
+    let model = args.optional("model").unwrap_or("default").to_string();
+    let table = load_table(input, args.optional("target"))?;
+    let n_clients = args.parsed_or("clients", 2usize).map_err(|e| e.to_string())?;
+    let config = build_config(args)?;
+    let groups = PartitionPlan::Even { n_clients }
+        .column_groups(table.n_cols(), None, None)
+        .map_err(|e| e.to_string())?;
+    let shards = table.vertical_split(&groups);
+    let mut trainer = GtvTrainer::new(shards, config);
+    if let Some(path) = args.optional("load-weights") {
+        let dict = gtv_nn::StateDict::load(path).map_err(|e| e.to_string())?;
+        trainer.load_weights(&dict).map_err(|e| e.to_string())?;
+        println!("loaded weights from {path} — skipping training");
+    } else {
+        println!(
+            "training GTV ({} clients, {} rounds) before serving…",
+            n_clients,
+            trainer.config().rounds
+        );
+        trainer.train().map_err(|e| e.to_string())?;
+    }
+    let synth = trainer.synthesizer().map_err(|e| e.to_string())?;
+
+    // Steady-state serving runs entirely from recycled buffers; warming the
+    // registry parks the first request's allocations up front.
+    gtv_tensor::pool_mem::set_enabled(true);
+    let mut registry = ModelRegistry::new();
+    let parked = registry.insert_warm(&model, synth).map_err(|e| e.to_string())?;
+    let serve_config = ServeConfig {
+        queue_cap: args.parsed_or("queue-cap", 256usize).map_err(|e| e.to_string())?,
+        max_batch_rows: args.parsed_or("max-batch-rows", 4096usize).map_err(|e| e.to_string())?,
+        ..ServeConfig::default()
+    };
+    let service = std::sync::Arc::new(SynthService::new(registry, serve_config));
+    let server = SynthServer::bind(service, &listen).map_err(|e| e.to_string())?;
+    println!(
+        "model '{model}' registered ({parked} buffers pre-warmed); serving on {} (Ctrl-C to stop)",
+        server.endpoint()
+    );
+    let max_replies = match args.optional("max-replies") {
+        Some(n) => Some(n.parse::<u64>().map_err(|e| format!("--max-replies: {e}"))?),
+        None => None,
+    };
+    let replies = server.serve(max_replies).map_err(|e| e.to_string())?;
+    let stats = server.service().stats();
+    println!(
+        "served {replies} replies: {} completed, {} busy-rejected, mean batch {:.1}, pool hit rate {:.3}",
+        stats.completed,
+        stats.rejected_busy,
+        stats.mean_batch(),
+        stats.pool_hit_rate()
     );
     Ok(())
 }

@@ -139,6 +139,21 @@ impl ClientCondSampler {
         self.columns[slot].column
     }
 
+    /// Number of categories in a slot's column — the exclusive upper bound
+    /// on the `category` accepted by [`ClientCondSampler::local_bit`].
+    /// Callers validating external requests (the synthesis server) check
+    /// against this before materializing, keeping the panic inside
+    /// `local_bit` unreachable.
+    pub fn categories_of_slot(&self, slot: usize) -> usize {
+        self.columns[slot].n_categories
+    }
+
+    /// Finds the slot backing local table column `column`, if that column is
+    /// categorical.
+    pub fn slot_of_column(&self, column: usize) -> Option<usize> {
+        self.columns.iter().position(|c| c.column == column)
+    }
+
     /// Samples a batch of conditions from the *original* (raw) category
     /// frequencies — the distribution CTGAN uses when *generating* data, as
     /// opposed to the log-frequency distribution used during training.

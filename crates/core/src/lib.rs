@@ -40,6 +40,7 @@ mod config;
 mod discriminator;
 mod generator;
 mod privacy;
+mod synth;
 mod trainer;
 
 pub use baseline::CentralizedTrainer;
@@ -49,6 +50,7 @@ pub use generator::SplitGenerator;
 pub use privacy::{
     column_truths, ClientIndexObserver, ColumnTruth, ReconstructionReport, ServerObserver,
 };
+pub use synth::{CondSpec, SynthError, SynthSpec, Synthesizer, MAX_ROWS_PER_REQUEST};
 pub use trainer::{GtvTrainer, StepAllocStats, TrainHistory};
 // The transport seam and protocol error surface, re-exported so downstream
 // users of the trainer can build distributed deployments and match on

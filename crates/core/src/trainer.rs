@@ -892,6 +892,31 @@ impl<T: Transport> GtvTrainer<T> {
         dict
     }
 
+    /// Extracts a transport-free [`crate::Synthesizer`] snapshot of the
+    /// current generator: the serving unit the model registry caches. The
+    /// generator weights are copied (via a state dict round-trip), so the
+    /// trainer can keep training afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SynthError::Weights`] only if the rebuild disagrees
+    /// with the saved state — impossible unless the architecture config
+    /// mutated since construction.
+    pub fn synthesizer(&self) -> Result<crate::Synthesizer, crate::SynthError> {
+        use gtv_nn::Stateful;
+        let mut dict = gtv_nn::StateDict::new();
+        self.generator.save_state(&mut dict);
+        let transformers = self.clients.iter().map(|c| c.transformer.clone()).collect();
+        let samplers = self.clients.iter().map(|c| c.sampler.clone()).collect();
+        crate::Synthesizer::from_parts(
+            &self.config,
+            transformers,
+            samplers,
+            self.ratios.clone(),
+            &dict,
+        )
+    }
+
     /// Restores weights exported by [`GtvTrainer::save_weights`].
     ///
     /// # Errors

@@ -1,8 +1,7 @@
 //! Stochastic activations used by tabular GAN output heads.
 
 use crate::ctx::Ctx;
-use gtv_tensor::{Tensor, Var};
-use rand::Rng;
+use gtv_tensor::Var;
 
 /// Gumbel-softmax over the rows of `x` with temperature `tau` (CTGAN uses
 /// `tau = 0.2` on every categorical/one-hot output span).
@@ -11,15 +10,13 @@ use rand::Rng;
 /// tempered softmax, giving differentiable samples; in eval mode the noise is
 /// still applied so generated data is stochastic (matching CTGAN's sampling),
 /// but callers can use [`softmax_tempered`] for deterministic behaviour.
+/// Under a [`Ctx::eval_rows`] context the uniforms come from per-row
+/// substreams, so each row's sample is independent of the batch it rode in.
 pub fn gumbel_softmax(ctx: &Ctx<'_>, x: Var, tau: f32) -> Var {
     let g = ctx.graph();
     let (rows, cols) = g.shape(x);
-    let noise = ctx.with_rng(|rng| {
-        Tensor::from_fn(rows, cols, |_, _| {
-            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
-            -(-u.ln()).ln()
-        })
-    });
+    let mut noise = ctx.uniform_noise(rows, cols);
+    noise.map_inplace(|u| -(-u.ln()).ln());
     let noise = g.leaf(noise);
     let noisy = g.add(x, noise);
     let scaled = g.mul_scalar(noisy, 1.0 / tau);
@@ -36,7 +33,8 @@ pub fn softmax_tempered(ctx: &Ctx<'_>, x: Var, tau: f32) -> Var {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gtv_tensor::Graph;
+    use crate::ctx::row_seed;
+    use gtv_tensor::{Graph, Tensor};
 
     #[test]
     fn gumbel_softmax_rows_are_distributions() {
@@ -58,6 +56,44 @@ mod tests {
         let y = g.value(gumbel_softmax(&ctx, x, 0.1));
         let max = y.row_slice(0).iter().cloned().fold(0.0f32, f32::max);
         assert!(max > 0.95, "low-tau gumbel softmax should be peaked, got {max}");
+    }
+
+    #[test]
+    fn eval_rows_noise_is_batch_invariant() {
+        // A coalesced 3-row forward must equal three solo 1-row forwards when
+        // the per-row substream seeds line up.
+        let logits = [[0.3f32, -1.0, 2.0], [5.0, -5.0, 0.0], [0.0, 0.0, 0.0]];
+        let seeds: Vec<u64> = (0..3).map(|r| row_seed(42, r)).collect();
+
+        let g = Graph::new();
+        let ctx = Ctx::eval_rows(&g, seeds.clone());
+        let rows: Vec<&[f32]> = logits.iter().map(|r| r.as_slice()).collect();
+        let x = g.leaf(Tensor::from_rows(&rows));
+        let batched = g.value(gumbel_softmax(&ctx, x, 0.2));
+
+        for r in 0..3 {
+            let g1 = Graph::new();
+            let ctx1 = Ctx::eval_rows(&g1, vec![seeds[r]]);
+            let x1 = g1.leaf(Tensor::from_rows(&[&logits[r]]));
+            let solo = g1.value(gumbel_softmax(&ctx1, x1, 0.2));
+            assert_eq!(
+                batched.row_slice(r),
+                solo.row_slice(0),
+                "row {r} differs between coalesced and solo forwards"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_rows_noise_advances_per_call_site() {
+        // Two gumbel sites in one forward must see different noise even for
+        // the same row seed (the node counter separates them).
+        let g = Graph::new();
+        let ctx = Ctx::eval_rows(&g, vec![row_seed(7, 0)]);
+        let x = g.leaf(Tensor::from_rows(&[&[0.0f32, 0.0, 0.0]]));
+        let a = g.value(gumbel_softmax(&ctx, x, 0.2));
+        let b = g.value(gumbel_softmax(&ctx, x, 0.2));
+        assert_ne!(a.row_slice(0), b.row_slice(0), "call sites must draw distinct substream noise");
     }
 
     #[test]

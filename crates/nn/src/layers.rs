@@ -5,7 +5,7 @@ use crate::init::Init;
 use crate::param::{Module, Param};
 use gtv_tensor::{FusedAct, Tensor, Var};
 use rand::Rng;
-use std::cell::RefCell;
+use std::sync::{PoisonError, RwLock};
 
 /// Fully-connected layer `y = xW + b`.
 #[derive(Debug)]
@@ -85,8 +85,8 @@ impl Module for Linear {
 pub struct BatchNorm1d {
     gamma: Param,
     beta: Param,
-    running_mean: RefCell<Tensor>,
-    running_var: RefCell<Tensor>,
+    running_mean: RwLock<Tensor>,
+    running_var: RwLock<Tensor>,
     momentum: f32,
     eps: f32,
     dim: usize,
@@ -98,8 +98,8 @@ impl BatchNorm1d {
         Self {
             gamma: Param::new(format!("{name}.gamma"), Tensor::ones(1, dim)),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros(1, dim)),
-            running_mean: RefCell::new(Tensor::zeros(1, dim)),
-            running_var: RefCell::new(Tensor::ones(1, dim)),
+            running_mean: RwLock::new(Tensor::zeros(1, dim)),
+            running_var: RwLock::new(Tensor::ones(1, dim)),
             momentum: 0.1,
             eps: 1e-5,
             dim,
@@ -112,8 +112,12 @@ impl BatchNorm1d {
     }
 
     /// Copies of the exponential running `(mean, variance)` statistics.
+    /// A poisoned lock is recovered: the stats are whole tensors, replaced
+    /// atomically by every writer.
     pub fn running_stats(&self) -> (Tensor, Tensor) {
-        (self.running_mean.borrow().clone(), self.running_var.borrow().clone())
+        let mean = self.running_mean.read().unwrap_or_else(PoisonError::into_inner).clone();
+        let var = self.running_var.read().unwrap_or_else(PoisonError::into_inner).clone();
+        (mean, var)
     }
 
     /// Replaces the running statistics (weight loading).
@@ -124,8 +128,8 @@ impl BatchNorm1d {
     pub fn set_running_stats(&self, mean: Tensor, var: Tensor) {
         assert_eq!(mean.shape(), (1, self.dim), "running-mean shape mismatch");
         assert_eq!(var.shape(), (1, self.dim), "running-var shape mismatch");
-        *self.running_mean.borrow_mut() = mean;
-        *self.running_var.borrow_mut() = var;
+        *self.running_mean.write().unwrap_or_else(PoisonError::into_inner) = mean;
+        *self.running_var.write().unwrap_or_else(PoisonError::into_inner) = var;
     }
 
     /// Applies normalization.
@@ -141,15 +145,17 @@ impl BatchNorm1d {
             let m = g.value(mean);
             let v = g.value(var);
             {
-                let mut rm = self.running_mean.borrow_mut();
+                let mut rm = self.running_mean.write().unwrap_or_else(PoisonError::into_inner);
                 *rm = rm.mul_scalar(1.0 - self.momentum).add(&m.mul_scalar(self.momentum));
-                let mut rv = self.running_var.borrow_mut();
+                let mut rv = self.running_var.write().unwrap_or_else(PoisonError::into_inner);
                 *rv = rv.mul_scalar(1.0 - self.momentum).add(&v.mul_scalar(self.momentum));
             }
             (mean, var)
         } else {
-            let mean = g.leaf(self.running_mean.borrow().clone());
-            let var = g.leaf(self.running_var.borrow().clone());
+            let mean =
+                g.leaf(self.running_mean.read().unwrap_or_else(PoisonError::into_inner).clone());
+            let var =
+                g.leaf(self.running_var.read().unwrap_or_else(PoisonError::into_inner).clone());
             (mean, var)
         };
         let centered = g.sub(x, mean);

@@ -39,7 +39,7 @@ mod state;
 
 pub use activations::{gumbel_softmax, softmax_tempered};
 pub use blocks::{FnBlock, ResidualBlock};
-pub use ctx::Ctx;
+pub use ctx::{row_seed, Ctx};
 pub use init::Init;
 pub use layers::{BatchNorm1d, Dropout, Linear};
 pub use optim::{Adam, AdamConfig, Sgd};

@@ -8,7 +8,7 @@
 use gtv_tensor::{Graph, Tensor, Var};
 use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 struct ParamInner {
     name: String,
@@ -19,15 +19,17 @@ struct ParamInner {
 /// A shared handle to a trainable tensor.
 ///
 /// Cloning a `Param` clones the *handle*: all clones refer to the same
-/// underlying value and gradient.
+/// underlying value and gradient. Handles are `Send + Sync` so a trained
+/// model can be served from any thread; access is guarded by an RwLock
+/// (uncontended outside training, where steps are single-writer anyway).
 #[derive(Clone)]
 pub struct Param {
-    inner: Rc<RefCell<ParamInner>>,
+    inner: Arc<RwLock<ParamInner>>,
 }
 
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.read();
         write!(f, "Param({} {}x{})", inner.name, inner.value.rows(), inner.value.cols())
     }
 }
@@ -36,27 +38,37 @@ impl Param {
     /// Creates a parameter with the given debug name and initial value.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.rows(), value.cols());
-        Self { inner: Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })) }
+        Self { inner: Arc::new(RwLock::new(ParamInner { name: name.into(), value, grad })) }
+    }
+
+    /// A poisoned lock is recovered: parameter state is a pair of tensors,
+    /// valid after any interrupted writer.
+    fn read(&self) -> RwLockReadGuard<'_, ParamInner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, ParamInner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Debug name.
     pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+        self.read().name.clone()
     }
 
     /// Copy of the current value.
     pub fn value(&self) -> Tensor {
-        self.inner.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// Copy of the accumulated gradient.
     pub fn grad(&self) -> Tensor {
-        self.inner.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Shape of the parameter.
     pub fn shape(&self) -> (usize, usize) {
-        self.inner.borrow().value.shape()
+        self.read().value.shape()
     }
 
     /// Number of scalar elements.
@@ -72,27 +84,27 @@ impl Param {
 
     /// Replaces the value (used by optimizers).
     pub fn set_value(&self, value: Tensor) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(inner.value.shape(), value.shape(), "set_value shape mismatch");
         inner.value = value;
     }
 
     /// Adds `delta` to the stored gradient.
     pub fn accumulate_grad(&self, delta: &Tensor) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         inner.grad = inner.grad.add(delta);
     }
 
     /// Resets the stored gradient to zero.
     pub fn zero_grad(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         let (r, c) = inner.value.shape();
         inner.grad = Tensor::zeros(r, c);
     }
 
     /// True when two handles refer to the same underlying parameter.
     pub fn ptr_eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

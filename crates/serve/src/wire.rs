@@ -1,0 +1,492 @@
+//! Serve-session wire frames: the byte surface of `gtv-cli serve-synth`.
+//!
+//! Frames ride the same discipline as the party transport's wire-v2
+//! framing (`gtv_vfl::socket::framing`): a little-endian `u32` length
+//! prefix followed by an opcode-tagged body, bounded by
+//! [`MAX_SERVE_BODY`], with every malformed input reported as a typed
+//! [`TransportError::Frame`] — never a panic. The serve session speaks its
+//! own opcode space so a synthesis client can never be confused with a
+//! training party: the first frame on a connection must be
+//! [`ServeFrame::SynthHello`], which a training node would reject as an
+//! unknown opcode (and vice versa).
+//!
+//! The session state machine over these frames is linted by gtv-xtask's
+//! L10 protocol-order pass (`SERVE_EDGES`); the variant set here is kept
+//! in bijection with that machine by the serve wire-drift check.
+
+use gtv_vfl::TransportError;
+
+/// Serve-session protocol version, negotiated by `SynthHello`.
+pub const SERVE_PROTOCOL: u32 = 1;
+
+/// Upper bound on one frame body (mirrors the transport's framing bound:
+/// a full gradient matrix plus header slack).
+pub const MAX_SERVE_BODY: usize = (1 << 30) + 4096;
+
+/// Longest accepted model name on the wire.
+pub const MAX_MODEL_NAME: usize = 256;
+
+/// Longest accepted error-reason string on the wire.
+pub const MAX_REASON: usize = 512;
+
+/// A conditional-vector choice carried by a request: one category of one
+/// categorical column owned by one client (CTGAN-style conditioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCond {
+    /// Index of the client that owns the conditioned column.
+    pub client: u64,
+    /// Client-local column index.
+    pub column: u64,
+    /// Category index within that column.
+    pub category: u64,
+}
+
+/// One serve-session frame.
+///
+/// `SynthHello`/`SynthHelloAck` open a session; each `SynthRequest` is
+/// answered by exactly one of `SynthRows` (the sampled table as CSV
+/// bytes), `SynthBusy` (admission rejection with a retry hint) or
+/// `SynthErr` (typed failure), correlated by the client-chosen `id` so
+/// requests may be pipelined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeFrame {
+    /// Client → server session opener carrying the protocol version.
+    SynthHello {
+        /// The client's [`SERVE_PROTOCOL`].
+        protocol: u32,
+    },
+    /// Server → client hello acceptance.
+    SynthHelloAck {
+        /// The server's [`SERVE_PROTOCOL`].
+        protocol: u32,
+    },
+    /// Client → server sampling request.
+    SynthRequest {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Registry name of the model to sample from.
+        model: String,
+        /// Number of rows requested.
+        n: u64,
+        /// Request seed; rows are bit-reproducible functions of it.
+        seed: u64,
+        /// Optional fixed condition (`None` samples per the original
+        /// frequencies).
+        cond: Option<WireCond>,
+        /// Deadline in engine ticks (batch sequence numbers), 0 meaning
+        /// "expire unless picked up by the very next batch".
+        deadline_ticks: u64,
+    },
+    /// Server → client response: the sampled rows as CSV bytes.
+    SynthRows {
+        /// Correlation id of the answered request.
+        id: u64,
+        /// The synthesized table, CSV-encoded.
+        csv: Vec<u8>,
+    },
+    /// Server → client admission rejection: the bounded queue is full.
+    SynthBusy {
+        /// Correlation id of the rejected request.
+        id: u64,
+        /// Queue depth observed at rejection.
+        depth: u64,
+        /// How many engine ticks to wait before retrying.
+        retry_after_ticks: u64,
+    },
+    /// Server → client typed failure (bad request, expired deadline, …).
+    SynthErr {
+        /// Correlation id of the failed request (0 during handshake).
+        id: u64,
+        /// Human-readable failure reason.
+        reason: String,
+    },
+}
+
+impl ServeFrame {
+    /// The variant name, as used by protocol-order diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeFrame::SynthHello { .. } => "SynthHello",
+            ServeFrame::SynthHelloAck { .. } => "SynthHelloAck",
+            ServeFrame::SynthRequest { .. } => "SynthRequest",
+            ServeFrame::SynthRows { .. } => "SynthRows",
+            ServeFrame::SynthBusy { .. } => "SynthBusy",
+            ServeFrame::SynthErr { .. } => "SynthErr",
+        }
+    }
+}
+
+const OP_HELLO: u8 = 0x51;
+const OP_HELLO_ACK: u8 = 0x52;
+const OP_REQUEST: u8 = 0x53;
+const OP_ROWS: u8 = 0x54;
+const OP_BUSY: u8 = 0x55;
+const OP_ERR: u8 = 0x56;
+
+fn frame_err(detail: impl Into<String>) -> TransportError {
+    TransportError::Frame { detail: detail.into() }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounded-length string/byte prefix: `u16` for names and reasons.
+fn put_short_bytes(
+    out: &mut Vec<u8>,
+    b: &[u8],
+    what: &str,
+    cap: usize,
+) -> Result<(), TransportError> {
+    if b.len() > cap {
+        return Err(frame_err(format!("{what} is {} bytes, cap {cap}", b.len())));
+    }
+    let len =
+        u16::try_from(b.len()).map_err(|_| frame_err(format!("{what} length overflows u16")))?;
+    put_u16(out, len);
+    out.extend_from_slice(b);
+    Ok(())
+}
+
+/// Encodes one frame body (no length prefix; the stream writer adds it).
+///
+/// Fails with a typed [`TransportError::Frame`] when a field exceeds its
+/// wire bound (model name, reason string, CSV payload).
+pub fn encode_serve_frame(frame: &ServeFrame) -> Result<Vec<u8>, TransportError> {
+    let mut out = Vec::new();
+    match frame {
+        ServeFrame::SynthHello { protocol } => {
+            out.push(OP_HELLO);
+            put_u32(&mut out, *protocol);
+        }
+        ServeFrame::SynthHelloAck { protocol } => {
+            out.push(OP_HELLO_ACK);
+            put_u32(&mut out, *protocol);
+        }
+        ServeFrame::SynthRequest { id, model, n, seed, cond, deadline_ticks } => {
+            out.push(OP_REQUEST);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *n);
+            put_u64(&mut out, *seed);
+            put_u64(&mut out, *deadline_ticks);
+            match cond {
+                Some(c) => {
+                    out.push(1);
+                    put_u64(&mut out, c.client);
+                    put_u64(&mut out, c.column);
+                    put_u64(&mut out, c.category);
+                }
+                None => out.push(0),
+            }
+            put_short_bytes(&mut out, model.as_bytes(), "model name", MAX_MODEL_NAME)?;
+        }
+        ServeFrame::SynthRows { id, csv } => {
+            out.push(OP_ROWS);
+            put_u64(&mut out, *id);
+            if csv.len() > MAX_SERVE_BODY - 16 {
+                return Err(frame_err(format!(
+                    "CSV payload is {} bytes, cap {}",
+                    csv.len(),
+                    MAX_SERVE_BODY - 16
+                )));
+            }
+            let len =
+                u32::try_from(csv.len()).map_err(|_| frame_err("CSV length overflows u32"))?;
+            put_u32(&mut out, len);
+            out.extend_from_slice(csv);
+        }
+        ServeFrame::SynthBusy { id, depth, retry_after_ticks } => {
+            out.push(OP_BUSY);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *depth);
+            put_u64(&mut out, *retry_after_ticks);
+        }
+        ServeFrame::SynthErr { id, reason } => {
+            out.push(OP_ERR);
+            put_u64(&mut out, *id);
+            put_short_bytes(&mut out, reason.as_bytes(), "error reason", MAX_REASON)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Bounds-checked little-endian cursor over one frame body.
+struct Cur<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, off: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TransportError> {
+        let end = self.off.checked_add(n).filter(|&e| e <= self.b.len()).ok_or_else(|| {
+            frame_err(format!("truncated frame: {what} needs {n} bytes at offset {}", self.off))
+        })?;
+        let s = &self.b[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, TransportError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, TransportError> {
+        let s = self.take(2, what)?;
+        let mut b = [0u8; 2];
+        b.copy_from_slice(s);
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TransportError> {
+        let s = self.take(4, what)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, TransportError> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn short_str(&mut self, what: &str, cap: usize) -> Result<String, TransportError> {
+        let len = usize::from(self.u16(what)?);
+        if len > cap {
+            return Err(frame_err(format!("{what} is {len} bytes, cap {cap}")));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| frame_err(format!("{what} is not UTF-8")))
+    }
+
+    fn done(&self, kind: &str) -> Result<(), TransportError> {
+        if self.off == self.b.len() {
+            Ok(())
+        } else {
+            Err(frame_err(format!("{} trailing bytes after {kind}", self.b.len() - self.off)))
+        }
+    }
+}
+
+/// Decodes one frame body (everything after the length prefix).
+pub fn decode_serve_body(body: &[u8]) -> Result<ServeFrame, TransportError> {
+    let mut cur = Cur::new(body);
+    let op = cur.u8("opcode")?;
+    let frame = match op {
+        OP_HELLO => ServeFrame::SynthHello { protocol: cur.u32("protocol")? },
+        OP_HELLO_ACK => ServeFrame::SynthHelloAck { protocol: cur.u32("protocol")? },
+        OP_REQUEST => {
+            let id = cur.u64("id")?;
+            let n = cur.u64("n")?;
+            let seed = cur.u64("seed")?;
+            let deadline_ticks = cur.u64("deadline")?;
+            let cond = match cur.u8("cond tag")? {
+                0 => None,
+                1 => Some(WireCond {
+                    client: cur.u64("cond client")?,
+                    column: cur.u64("cond column")?,
+                    category: cur.u64("cond category")?,
+                }),
+                tag => return Err(frame_err(format!("bad cond tag {tag}"))),
+            };
+            let model = cur.short_str("model name", MAX_MODEL_NAME)?;
+            ServeFrame::SynthRequest { id, model, n, seed, cond, deadline_ticks }
+        }
+        OP_ROWS => {
+            let id = cur.u64("id")?;
+            let len = cur.u32("csv length")?;
+            let len = usize::try_from(len).map_err(|_| frame_err("csv length overflows usize"))?;
+            if len > MAX_SERVE_BODY {
+                return Err(frame_err(format!("csv length {len} exceeds body bound")));
+            }
+            let csv = cur.take(len, "csv payload")?.to_vec();
+            ServeFrame::SynthRows { id, csv }
+        }
+        OP_BUSY => ServeFrame::SynthBusy {
+            id: cur.u64("id")?,
+            depth: cur.u64("depth")?,
+            retry_after_ticks: cur.u64("retry")?,
+        },
+        OP_ERR => {
+            let id = cur.u64("id")?;
+            let reason = cur.short_str("error reason", MAX_REASON)?;
+            ServeFrame::SynthErr { id, reason }
+        }
+        other => return Err(frame_err(format!("unknown serve opcode {other:#04x}"))),
+    };
+    cur.done(frame.kind())?;
+    Ok(frame)
+}
+
+/// Incremental reassembly buffer for length-prefixed serve frames
+/// (mirrors the transport's `FrameBuf`): feed raw socket chunks with
+/// [`extend`](Self::extend), pull complete frames with
+/// [`next_frame`](Self::next_frame).
+#[derive(Debug, Default)]
+pub struct ServeFrameBuf {
+    buf: Vec<u8>,
+}
+
+impl ServeFrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are
+    /// needed, or a typed error when the stream lost sync (oversized
+    /// length prefix, malformed body).
+    pub fn next_frame(&mut self) -> Result<Option<ServeFrame>, TransportError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut lb = [0u8; 4];
+        lb.copy_from_slice(&self.buf[..4]);
+        let body_len = usize::try_from(u32::from_le_bytes(lb))
+            .map_err(|_| frame_err("length prefix overflows usize"))?;
+        if body_len > MAX_SERVE_BODY {
+            return Err(frame_err(format!("length prefix {body_len} exceeds {MAX_SERVE_BODY}")));
+        }
+        if self.buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let frame = decode_serve_body(&self.buf[4..4 + body_len])?;
+        self.buf.drain(..4 + body_len);
+        Ok(Some(frame))
+    }
+}
+
+/// Encodes `frame` with its `u32` little-endian length prefix, ready to
+/// write to a stream.
+pub fn encode_serve_wire(frame: &ServeFrame) -> Result<Vec<u8>, TransportError> {
+    let body = encode_serve_frame(frame)?;
+    if body.len() > MAX_SERVE_BODY {
+        return Err(frame_err(format!("frame body {} exceeds {MAX_SERVE_BODY}", body.len())));
+    }
+    let len = u32::try_from(body.len()).map_err(|_| frame_err("frame body overflows u32"))?;
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, len);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplars() -> Vec<ServeFrame> {
+        vec![
+            ServeFrame::SynthHello { protocol: SERVE_PROTOCOL },
+            ServeFrame::SynthHelloAck { protocol: SERVE_PROTOCOL },
+            ServeFrame::SynthRequest {
+                id: 7,
+                model: "loan".to_string(),
+                n: 128,
+                seed: 42,
+                cond: Some(WireCond { client: 1, column: 3, category: 2 }),
+                deadline_ticks: 16,
+            },
+            ServeFrame::SynthRequest {
+                id: 8,
+                model: "adult".to_string(),
+                n: 1,
+                seed: 0,
+                cond: None,
+                deadline_ticks: 0,
+            },
+            ServeFrame::SynthRows { id: 7, csv: b"a,b\n1,2\n".to_vec() },
+            ServeFrame::SynthBusy { id: 9, depth: 256, retry_after_ticks: 2 },
+            ServeFrame::SynthErr { id: 9, reason: "unknown model \"x\"".to_string() },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for frame in exemplars() {
+            let body = encode_serve_frame(&frame).expect("encode");
+            let back = decode_serve_body(&body).expect("decode");
+            assert_eq!(frame, back);
+        }
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_and_coalesced_chunks() {
+        let mut wire = Vec::new();
+        for frame in exemplars() {
+            wire.extend_from_slice(&encode_serve_wire(&frame).expect("encode"));
+        }
+        let mut fb = ServeFrameBuf::new();
+        let mut got = Vec::new();
+        // Feed in awkward 3-byte slivers so every length prefix and body
+        // is split across chunk boundaries at least once.
+        for chunk in wire.chunks(3) {
+            fb.extend(chunk);
+            while let Some(f) = fb.next_frame().expect("frame") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, exemplars());
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_fields_are_rejected_at_encode_time() {
+        let long_model = ServeFrame::SynthRequest {
+            id: 1,
+            model: "m".repeat(MAX_MODEL_NAME + 1),
+            n: 1,
+            seed: 0,
+            cond: None,
+            deadline_ticks: 0,
+        };
+        assert!(encode_serve_frame(&long_model).is_err());
+        let long_reason = ServeFrame::SynthErr { id: 1, reason: "r".repeat(MAX_REASON + 1) };
+        assert!(encode_serve_frame(&long_reason).is_err());
+    }
+
+    #[test]
+    fn malformed_bodies_get_typed_errors_not_panics() {
+        // Truncations at every prefix of a valid body.
+        let body = encode_serve_frame(&exemplars()[2]).expect("encode");
+        for cut in 0..body.len() {
+            match decode_serve_body(&body[..cut]) {
+                Ok(f) => panic!("truncated body decoded as {f:?}"),
+                Err(TransportError::Frame { .. }) => {}
+                Err(e) => panic!("unexpected error kind {e:?}"),
+            }
+        }
+        // Unknown opcode.
+        assert!(matches!(decode_serve_body(&[0xff]), Err(TransportError::Frame { .. })));
+        // Trailing garbage.
+        let mut noisy = encode_serve_frame(&exemplars()[0]).expect("encode");
+        noisy.push(0);
+        assert!(matches!(decode_serve_body(&noisy), Err(TransportError::Frame { .. })));
+        // Oversized length prefix loses the stream.
+        let mut fb = ServeFrameBuf::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(TransportError::Frame { .. })));
+    }
+}

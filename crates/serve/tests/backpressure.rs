@@ -1,0 +1,103 @@
+//! Backpressure regression tests: flooding the bounded queue past its
+//! cap yields typed `Busy` rejections (no hang, no panic), the queue
+//! drains once load drops, and tick-denominated deadlines expire with
+//! the transport's timeout shape.
+
+mod common;
+
+use gtv::SynthSpec;
+use gtv_serve::{ModelRegistry, RowsRequest, ServeConfig, ServeError, SynthService};
+use gtv_vfl::TransportError;
+
+fn req(model: &str, seed: u64, deadline_ticks: Option<u64>) -> RowsRequest {
+    RowsRequest {
+        model: model.to_string(),
+        spec: SynthSpec { n: 4, seed, cond: None },
+        deadline_ticks,
+    }
+}
+
+#[test]
+fn flooding_past_the_cap_yields_typed_busy_and_the_queue_drains() {
+    let mut registry = ModelRegistry::new();
+    registry.insert("loan", common::trained_synth());
+    let config = ServeConfig {
+        queue_cap: 8,
+        max_batch_rows: 64,
+        retry_after_ticks: 3,
+        ..ServeConfig::default()
+    };
+    let service = SynthService::new(registry, config);
+
+    let mut tickets = Vec::new();
+    let mut busy = 0u32;
+    for seed in 0..20 {
+        match service.submit(&req("loan", seed, None)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::Busy { depth, retry_after_ticks }) => {
+                assert_eq!(depth, 8, "rejection reports the observed depth");
+                assert_eq!(retry_after_ticks, 3, "rejection carries the retry hint");
+                busy += 1;
+            }
+            Err(e) => panic!("flood must only produce Busy rejections, got {e}"),
+        }
+    }
+    assert_eq!(tickets.len(), 8, "exactly queue_cap requests are admitted");
+    assert_eq!(busy, 12, "everything past the cap is rejected");
+
+    // Load stops: the queue drains completely and every admitted request
+    // resolves with rows.
+    while service.pump() > 0 {}
+    assert_eq!(service.queue_depth(), 0);
+    for ticket in tickets {
+        let table = service.try_take(ticket).expect("resolved").expect("rows");
+        assert_eq!(table.n_rows(), 4);
+    }
+
+    // Admission reopens once depth falls below the cap.
+    let reopened = service.submit(&req("loan", 99, None)).expect("admission reopens");
+    while service.pump() > 0 {}
+    assert!(service.try_take(reopened).expect("resolved").is_ok());
+
+    let stats = service.stats();
+    assert_eq!(stats.rejected_busy, 12);
+    assert_eq!(stats.completed, 9);
+}
+
+#[test]
+fn deadlines_expire_in_ticks_with_the_transport_timeout_shape() {
+    let mut registry = ModelRegistry::new();
+    let synth = common::trained_synth();
+    // Two names for the same weights: a second model keeps the engine
+    // from coalescing the probe into the first group (different model
+    // keys never batch together), so it ages in the queue.
+    registry.insert("loan", synth);
+    registry.insert("loan-b", common::trained_synth());
+    let service = SynthService::new(registry, ServeConfig::default());
+
+    // A deadline of zero expires at the first batch boundary.
+    let doomed = service.submit(&req("loan", 1, Some(0))).expect("admitted");
+    service.pump();
+    match service.try_take(doomed).expect("resolved") {
+        Err(ServeError::Expired(TransportError::Timeout { round, expecting, .. })) => {
+            assert_eq!(round, Some(1), "expiry names the batch tick");
+            assert_eq!(expecting, Some("SynthRows"), "expiry names the frame that never came");
+        }
+        other => panic!("expected Expired(Timeout), got {other:?}"),
+    }
+
+    // A deadline of one tick survives the batch that picks it up next,
+    // but expires if other-model traffic keeps it queued past a tick.
+    let front = service.submit(&req("loan", 2, None)).expect("admitted");
+    let aged = service.submit(&req("loan-b", 3, Some(1))).expect("admitted");
+    service.pump(); // batches "loan" only; "loan-b" stays queued
+    service.pump(); // forms the next group: the probe is now 2 ticks old
+    assert!(service.try_take(front).expect("front resolved").is_ok());
+    assert!(matches!(
+        service.try_take(aged).expect("aged resolved"),
+        Err(ServeError::Expired(TransportError::Timeout { .. }))
+    ));
+
+    let stats = service.stats();
+    assert_eq!(stats.expired, 2);
+}

@@ -1,0 +1,72 @@
+//! Socket loopback: the wire surface returns byte-identical rows to the
+//! in-process handle, over both TCP and Unix-domain endpoints, and
+//! remote failures arrive as typed error frames.
+
+mod common;
+
+use gtv::SynthSpec;
+use gtv_serve::{
+    ModelRegistry, RowsRequest, ServeConfig, ServeConn, ServeError, SynthServer, SynthService,
+};
+use gtv_vfl::Endpoint;
+use std::sync::Arc;
+
+fn service_with_loan() -> Arc<SynthService> {
+    let mut registry = ModelRegistry::new();
+    registry.insert("loan", common::trained_synth());
+    Arc::new(SynthService::new(registry, ServeConfig::default()))
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_bytes() {
+    let service = service_with_loan();
+    let want = gtv_data::to_csv_string(
+        &service
+            .request(&RowsRequest {
+                model: "loan".to_string(),
+                spec: SynthSpec { n: 9, seed: 77, cond: None },
+                deadline_ticks: None,
+            })
+            .expect("in-process request"),
+    );
+
+    let server =
+        SynthServer::bind(Arc::clone(&service), &Endpoint::parse("127.0.0.1:0")).expect("bind tcp");
+    let endpoint = server.endpoint();
+    let handle = std::thread::spawn(move || server.serve(Some(2)));
+
+    let mut conn = ServeConn::connect(&endpoint).expect("connect");
+    let got = conn.synth("loan", 9, 77, None, None).expect("rows over tcp");
+    assert_eq!(String::from_utf8(got).expect("utf8 csv"), want);
+
+    // A remote failure is a typed error frame, not a dropped connection.
+    match conn.synth("no-such-model", 1, 0, None, None) {
+        Err(ServeError::Remote { reason }) => {
+            assert!(reason.contains("unknown model"), "reason: {reason}")
+        }
+        other => panic!("expected a Remote error, got {other:?}"),
+    }
+
+    drop(conn);
+    let served = handle.join().expect("server thread").expect("serve loop");
+    assert_eq!(served, 2, "one rows frame and one error frame were written");
+}
+
+#[test]
+fn unix_socket_round_trip_serves_rows() {
+    let service = service_with_loan();
+    let path = std::env::temp_dir().join(format!("gtv-serve-loopback-{}.sock", std::process::id()));
+    let server =
+        SynthServer::bind(Arc::clone(&service), &Endpoint::Unix(path.clone())).expect("bind unix");
+    let endpoint = server.endpoint();
+    let handle = std::thread::spawn(move || server.serve(Some(1)));
+
+    let mut conn = ServeConn::connect(&endpoint).expect("connect");
+    let got = conn.synth("loan", 5, 5, None, None).expect("rows over unix socket");
+    assert!(!got.is_empty());
+
+    drop(conn);
+    let served = handle.join().expect("server thread").expect("serve loop");
+    assert_eq!(served, 1);
+    assert!(!path.exists(), "the listener removes its socket path on drop");
+}

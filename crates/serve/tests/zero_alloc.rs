@@ -1,0 +1,50 @@
+//! Zero-allocation proof for steady-state serving: once the buffer pool
+//! is warm, repeated same-shape requests are served entirely from
+//! recycled buffers — `PoolStats.misses` stays at zero across the
+//! measurement window.
+
+mod common;
+
+use gtv::SynthSpec;
+use gtv_serve::{ModelRegistry, RowsRequest, ServeConfig, SynthService};
+use gtv_tensor::pool_mem;
+
+fn req(seed: u64) -> RowsRequest {
+    RowsRequest {
+        model: "loan".to_string(),
+        spec: SynthSpec { n: 16, seed, cond: None },
+        deadline_ticks: None,
+    }
+}
+
+#[test]
+fn steady_state_requests_allocate_nothing_fresh() {
+    pool_mem::set_enabled(true);
+    let mut registry = ModelRegistry::new();
+    let parked = registry.insert_warm("loan", common::trained_synth()).expect("warm insert");
+    assert!(parked > 0, "insert_warm must pin at least the staging buffer");
+    let service = SynthService::new(registry, ServeConfig::default());
+
+    // Warm-up window: the first requests of this shape may still park
+    // fresh buffers (the warm pass used the model's own chunk size).
+    for seed in 0..4 {
+        service.request(&req(seed)).expect("warm-up request");
+    }
+
+    pool_mem::reset_stats();
+    service.reset_stats();
+    for seed in 4..16 {
+        service.request(&req(seed)).expect("steady-state request");
+    }
+
+    let pool = pool_mem::stats();
+    assert_eq!(pool.misses, 0, "steady-state serving must recycle every pooled buffer: {pool:?}");
+    assert!(pool.hits > 0, "the steady-state window must actually exercise the pool: {pool:?}");
+
+    // The engine's own counters see the same hit-rate through its
+    // per-batch deltas.
+    let stats = service.stats();
+    assert_eq!(stats.pool_misses, 0, "engine-observed misses: {stats:?}");
+    assert!(stats.pool_hit_rate() > 0.999, "hit rate {}", stats.pool_hit_rate());
+    assert_eq!(stats.completed, 12);
+}

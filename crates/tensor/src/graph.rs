@@ -101,6 +101,10 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    /// When set, [`Graph::reset`] recycles leaf storage too — the inference
+    /// fast path, where every leaf is a graph-owned copy with no caller
+    /// alias. Off by default: training loops may hand out leaf values.
+    recycle_leaves: std::cell::Cell<bool>,
 }
 
 impl std::fmt::Debug for Graph {
@@ -143,21 +147,34 @@ impl Graph {
         self.push(value, Op::Const)
     }
 
+    /// Opts this graph into recycling [`Op::Leaf`] storage on
+    /// [`Graph::reset`]. Sound whenever every leaf is a graph-owned copy
+    /// ([`Graph::leaf`] takes its tensor by value and parameter bindings
+    /// clone), which is always true on the inference path — steady-state
+    /// serving relies on it to keep pool misses at zero. The default
+    /// (off) preserves the training-loop convention of pinning leaves
+    /// out of the allocator's fast path.
+    pub fn set_recycle_leaves(&self, on: bool) {
+        self.recycle_leaves.set(on);
+    }
+
     /// Ends a training step: drains the arena, parking every non-pinned
     /// node's storage in the thread-local recycling pool
     /// ([`crate::pool_mem`]) so the next step's allocations are pool hits.
     /// [`Op::Leaf`] values (parameters, data batches, detached values —
-    /// anything the *caller* created) are dropped without recycling, so a
-    /// tensor the caller still holds a clone of is never fed back into the
-    /// allocator's fast path; optimizer state lives outside the graph and
-    /// is untouched. Returns the number of nodes released. All `Var`
-    /// handles into this graph are invalidated.
+    /// anything the *caller* created) are dropped without recycling by
+    /// default, so a tensor the caller still holds a clone of is never fed
+    /// back into the allocator's fast path; opt in to recycling them with
+    /// [`Graph::set_recycle_leaves`]. Optimizer state lives outside the
+    /// graph and is untouched. Returns the number of nodes released. All
+    /// `Var` handles into this graph are invalidated.
     pub fn reset(&self) -> usize {
         let nodes = std::mem::take(&mut *self.nodes.borrow_mut());
         let count = nodes.len();
+        let recycle_leaves = self.recycle_leaves.get();
         for node in nodes {
             match node.op {
-                Op::Leaf => drop(node.value),
+                Op::Leaf if !recycle_leaves => drop(node.value),
                 _ => node.value.recycle(),
             }
         }

@@ -403,33 +403,40 @@ fn pack_transpose(b: &[f32], k: usize, m: usize) -> Vec<f32> {
     bt
 }
 
-/// Dense matmul kernel for output rows `r0..r1`: packed-transpose dot
-/// products, no term skipped — full IEEE NaN/Inf propagation.
-fn dense_rows(a: &[f32], bt: &[f32], k: usize, m: usize, r0: usize, r1: usize) -> Vec<f32> {
-    let mut out = pool_mem::take((r1 - r0) * m);
-    for i in r0..r1 {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..m {
-            out.push(simd::dot(a_row, &bt[j * k..(j + 1) * k]));
-        }
-    }
-    out
-}
-
 /// Zero-skipping axpy kernel for output rows `r0..r1`. Only valid when the
 /// RHS is entirely finite: then every skipped term is an exact `±0.0` and
 /// skipping cannot change the result (see [`matmul`]).
-fn sparse_rows(a: &[f32], b: &[f32], k: usize, m: usize, r0: usize, r1: usize) -> Vec<f32> {
+///
+/// Each row independently takes the zero-skipping kernel (`sparse[i]`) or the
+/// packed-transpose dot kernel; `bt` holds the packed transpose whenever at
+/// least one row in the whole product is dense (and may be empty otherwise).
+#[allow(clippy::too_many_arguments)] // hot-loop kernel: slices + strides, a struct would obscure it
+fn mixed_rows(
+    a: &[f32],
+    b: &[f32],
+    bt: &[f32],
+    sparse: &[bool],
+    k: usize,
+    m: usize,
+    r0: usize,
+    r1: usize,
+) -> Vec<f32> {
     let mut out = pool_mem::take_zeroed((r1 - r0) * m);
     for i in r0..r1 {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[(i - r0) * m..(i - r0 + 1) * m];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        if sparse[i] {
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out_row.iter_mut().zip(&b[p * m..(p + 1) * m]) {
+                    *o += av * bv;
+                }
             }
-            for (o, &bv) in out_row.iter_mut().zip(&b[p * m..(p + 1) * m]) {
-                *o += av * bv;
+        } else {
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = simd::dot(a_row, &bt[j * k..(j + 1) * k]);
             }
         }
     }
@@ -438,56 +445,53 @@ fn sparse_rows(a: &[f32], b: &[f32], k: usize, m: usize, r0: usize, r1: usize) -
 
 /// Matrix product of row-major `n×k` and `k×m` buffers.
 ///
-/// Kernel choice is data-dependent but thread-count independent: mostly-zero
-/// LHS against a finite RHS (one-hot and mask matrices are everywhere on the
-/// encode path) takes the zero-skipping kernel; everything else — including
-/// any non-finite RHS, so `0·NaN`/`0·∞` still poison the output as IEEE
-/// demands — takes the packed dense kernel. Work is split over fixed
-/// `ROW_BLOCK`-row output chunks and stitched in chunk order.
+/// Kernel choice is **per output row** and thread-count independent: a row
+/// that is mostly zero against a finite RHS (one-hot and mask rows are
+/// everywhere on the encode path) takes the zero-skipping kernel; everything
+/// else — including every row of any product with a non-finite RHS, so
+/// `0·NaN`/`0·∞` still poison the output as IEEE demands — takes the packed
+/// dense kernel. Deciding per row rather than per matrix makes every output
+/// row a pure function of that row and the RHS: the other rows sharing the
+/// batch cannot flip its kernel (and with it the accumulation order), which
+/// is what lets the serving engine coalesce and split request batches
+/// without perturbing any row's bits (DESIGN.md §14). Work is split over
+/// fixed `ROW_BLOCK`-row output chunks and stitched in chunk order.
 pub(crate) fn matmul(n: usize, k: usize, m: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
     let rhs_finite = b.iter().all(|v| v.is_finite());
-    let zeros = a.iter().filter(|&&v| v == 0.0).count();
-    let sparse = rhs_finite && !a.is_empty() && 2 * zeros >= a.len();
+    let row_sparse: Vec<bool> = (0..n)
+        .map(|i| {
+            if !rhs_finite || k == 0 {
+                return false;
+            }
+            let row = &a[i * k..(i + 1) * k];
+            2 * row.iter().filter(|&&v| v == 0.0).count() >= k
+        })
+        .collect();
+    let any_dense = row_sparse.iter().any(|&s| !s);
+    let bt = if any_dense { pack_transpose(b, k, m) } else { pool_mem::take(0) };
 
     let n_chunks = n.div_ceil(ROW_BLOCK);
     let bounds = move |i: usize| (i * ROW_BLOCK, ((i + 1) * ROW_BLOCK).min(n));
     let parallel = pool::threads() > 1 && n_chunks > 1 && n * k * m >= dispatch::matmul_par_min();
 
-    let chunks: Vec<Vec<f32>> = if sparse {
-        if parallel {
-            let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
-            let b: Arc<Vec<f32>> = Arc::new(b.to_vec());
-            pool::run_chunks(n_chunks, move |i| {
-                let (r0, r1) = bounds(i);
-                sparse_rows(&a, &b, k, m, r0, r1)
-            })
-        } else {
-            (0..n_chunks)
-                .map(|i| {
-                    let (r0, r1) = bounds(i);
-                    sparse_rows(a, b, k, m, r0, r1)
-                })
-                .collect()
-        }
+    let chunks: Vec<Vec<f32>> = if parallel {
+        let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
+        let b: Arc<Vec<f32>> = Arc::new(b.to_vec());
+        let bt: Arc<Vec<f32>> = Arc::new(bt);
+        let flags: Arc<Vec<bool>> = Arc::new(row_sparse);
+        pool::run_chunks(n_chunks, move |i| {
+            let (r0, r1) = bounds(i);
+            mixed_rows(&a, &b, &bt, &flags, k, m, r0, r1)
+        })
     } else {
-        let bt = pack_transpose(b, k, m);
-        if parallel {
-            let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
-            let bt: Arc<Vec<f32>> = Arc::new(bt);
-            pool::run_chunks(n_chunks, move |i| {
+        let chunks = (0..n_chunks)
+            .map(|i| {
                 let (r0, r1) = bounds(i);
-                dense_rows(&a, &bt, k, m, r0, r1)
+                mixed_rows(a, b, &bt, &row_sparse, k, m, r0, r1)
             })
-        } else {
-            let chunks = (0..n_chunks)
-                .map(|i| {
-                    let (r0, r1) = bounds(i);
-                    dense_rows(a, &bt, k, m, r0, r1)
-                })
-                .collect();
-            pool_mem::give(bt);
-            chunks
-        }
+            .collect();
+        pool_mem::give(bt);
+        chunks
     };
     stitch(chunks, n * m)
 }
@@ -601,6 +605,29 @@ mod tests {
         let a: Vec<f32> = (0..n * k).map(|i| if i % 5 == i / 5 { 1.0 } else { 0.0 }).collect();
         let b: Vec<f32> = (0..k * m).map(|i| (i as f32) - 7.0).collect();
         let bt = pack_transpose(&b, k, m);
-        assert_eq!(sparse_rows(&a, &b, k, m, 0, n), dense_rows(&a, &bt, k, m, 0, n));
+        let sparse = mixed_rows(&a, &b, &bt, &vec![true; n], k, m, 0, n);
+        let dense = mixed_rows(&a, &b, &bt, &vec![false; n], k, m, 0, n);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn matmul_rows_are_batch_invariant() {
+        // Any row of a product must be bit-identical to the same row
+        // computed solo, whatever mix of dense and sparse rows shares the
+        // batch — the serving engine's coalescing contract.
+        let k = 33;
+        let m = 9;
+        let b: Vec<f32> = (0..k * m).map(|i| ((i * 37 % 101) as f32) * 0.137 - 6.0).collect();
+        // Row 0: dense-ish; row 1: mostly zero; row 2: exactly half zero.
+        let rows: Vec<Vec<f32>> = vec![
+            (0..k).map(|i| ((i * 13 % 17) as f32) * 0.31 - 2.0).collect(),
+            (0..k).map(|i| if i == 4 { 1.5 } else { 0.0 }).collect(),
+            (0..k).map(|i| if i % 2 == 0 { 0.0 } else { 0.7 }).collect(),
+        ];
+        let batched: Vec<f32> = matmul(3, k, m, &rows.concat(), &b);
+        for (r, row) in rows.iter().enumerate() {
+            let solo = matmul(1, k, m, row, &b);
+            assert_eq!(&batched[r * m..(r + 1) * m], &solo[..], "row {r} depends on batch-mates");
+        }
     }
 }

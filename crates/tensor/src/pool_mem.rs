@@ -121,6 +121,43 @@ pub fn clear() {
     BYTES_HELD.with(|b| b.set(0));
 }
 
+/// Pre-parks `count` buffers of capacity `len` so a serving hot loop's first
+/// pass through a model already hits the pool instead of paying cold
+/// allocations. Respects the same budgets as [`give`]: sub-floor lengths,
+/// full buckets and the byte cap all turn pinning into a no-op for the
+/// remaining buffers. Returns how many buffers were actually parked.
+///
+/// This is the registry-warmup half of the serving allocation story: load a
+/// model, `reserve` its step shapes, and steady-state requests run at ~zero
+/// fresh allocations (asserted by the `crates/serve` zero-alloc test).
+pub fn reserve(len: usize, count: usize) -> usize {
+    if len < MIN_RECYCLE_LEN || !enabled() {
+        return 0;
+    }
+    let mut parked = 0;
+    for _ in 0..count {
+        let held = BYTES_HELD.with(Cell::get);
+        if held + len * 4 > MAX_POOLED_BYTES {
+            break;
+        }
+        let full = POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            let bucket = pool.entry(len).or_default();
+            if bucket.len() >= MAX_BUFS_PER_BUCKET {
+                return true;
+            }
+            bucket.push(Vec::with_capacity(len));
+            false
+        });
+        if full {
+            break;
+        }
+        BYTES_HELD.with(|b| b.set(b.get() + len * 4));
+        parked += 1;
+    }
+    parked
+}
+
 fn try_take(len: usize) -> Option<Vec<f32>> {
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
@@ -264,6 +301,29 @@ mod tests {
             (MIN_RECYCLE_LEN as u64 - 1) * 4,
             "bytes_requested still covers sub-floor traffic"
         );
+        fresh();
+    }
+
+    #[test]
+    fn reserve_pins_capacity_that_later_takes_hit() {
+        fresh();
+        assert_eq!(reserve(128, 3), 3);
+        assert_eq!(stats().bytes_held, 3 * 128 * 4);
+        for _ in 0..3 {
+            let buf = take(128);
+            assert!(buf.capacity() >= 128);
+        }
+        let s = stats();
+        assert_eq!((s.hits, s.misses), (3, 0), "reserved buffers must serve as hits: {s:?}");
+        fresh();
+    }
+
+    #[test]
+    fn reserve_respects_floor_and_disabled_pool() {
+        fresh();
+        assert_eq!(reserve(MIN_RECYCLE_LEN - 1, 4), 0, "sub-floor reserve is a no-op");
+        set_enabled(false);
+        assert_eq!(reserve(256, 4), 0, "reserve is a no-op while recycling is off");
         fresh();
     }
 

@@ -9,7 +9,9 @@
 //! * **L1 `panic`** — no `unwrap()` / `expect(` / `panic!` /
 //!   `unreachable!` / `todo!` in protocol/runtime paths
 //!   (`crates/vfl/src/{transport,socket,wire,shuffle,psi}.rs`,
-//!   `crates/core/src/trainer.rs`), outside `#[cfg(test)]` code;
+//!   `crates/core/src/{trainer,synth}.rs`, and the serving stack
+//!   `crates/serve/src/{engine,registry,server,wire}.rs`), outside
+//!   `#[cfg(test)]` code;
 //! * **L2 `determinism`** — no `thread_rng`, `from_entropy`,
 //!   `SystemTime::now`, `Instant::now` outside `crates/bench` and
 //!   `#[cfg(test)]` code, anywhere in the workspace; and no ad-hoc
@@ -30,15 +32,17 @@
 //!   outside tests and `crates/bench` derives its argument from a value
 //!   named `seed`/`round`, never a literal or ambient source;
 //! * **L8 `cast-safety`** — narrowing `as` casts on wire/transport paths
-//!   carry an adjacent bounds guard or a justified allow;
+//!   (including every `crates/serve/src/` source) carry an adjacent bounds
+//!   guard or a justified allow;
 //! * **L9 `layering`** — the crate dependency DAG is enforced at the
 //!   `use`-statement (and qualified-path) level;
 //! * **L10 `protocol-order`** — every send/recv sequence extracted from
 //!   `crates/core/src/trainer.rs` and `crates/vfl/src/{transport,socket}.rs`
-//!   is a
-//!   path through the declared protocol state machine in [`protocol`],
-//!   every `Message` variant appears in the machine (drift check), and no
-//!   party sends a variant the machine reserves for the other direction;
+//!   is a path through the declared round machine in [`protocol`], every
+//!   `ServeFrame` sequence in `crates/serve/src/{server,engine}.rs` is a
+//!   path through the serving-session machine, both wire enums stay in
+//!   bijection with their machines (drift checks), and no party sends a
+//!   variant the machine reserves for the other direction;
 //! * **L11 `raw-egress`** — raw feature-column data (partition table
 //!   column accessors) must never reach `Message` construction or a wire
 //!   `encode` sink except through the sanctioned
@@ -281,6 +285,11 @@ const L1_FILES: &[&str] = &[
     "crates/vfl/src/shuffle.rs",
     "crates/vfl/src/psi.rs",
     "crates/core/src/trainer.rs",
+    "crates/core/src/synth.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/registry.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/wire.rs",
 ];
 
 /// Tokens denied by L1 (matched on identifier boundaries).
@@ -813,6 +822,22 @@ pub fn message_variants(root: &Path) -> Result<Vec<String>, LintError> {
         .types
         .iter()
         .find(|t| t.is_enum && t.name == "Message")
+        .map(|t| t.variants.clone())
+        .unwrap_or_default())
+}
+
+/// The variants of `enum ServeFrame` in `crates/serve/src/wire.rs` under
+/// `root`, in declaration order. Public so the protocol-machine drift test
+/// can tie [`protocol::SERVE_EDGES`] to the real serving wire format.
+pub fn serve_frame_variants(root: &Path) -> Result<Vec<String>, LintError> {
+    let path = root.join("crates/serve/src/wire.rs");
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| LintError { message: format!("cannot read {}: {e}", path.display()) })?;
+    let ast = parse::parse_file(&lex(&source));
+    Ok(ast
+        .types
+        .iter()
+        .find(|t| t.is_enum && t.name == "ServeFrame")
         .map(|t| t.variants.clone())
         .unwrap_or_default())
 }

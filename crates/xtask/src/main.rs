@@ -38,7 +38,7 @@ fn usage() -> ExitCode {
          L7 rng-provenance  seed_from_u64/from_seed args derive from a seed/round value\n  \
          L8 cast-safety   narrowing casts on wire/transport paths carry a bounds guard\n  \
          L9 layering      crate imports respect the dependency DAG\n  \
-         L10 protocol-order  trainer/transport send-recv order follows the protocol machine\n  \
+         L10 protocol-order  trainer/transport and serve-session send-recv order follows the declared machines\n  \
          L11 raw-egress   raw partition columns never reach Message/wire encode unencoded\n  \
          L12 nondet-flow  env/time/thread-id/unordered-iteration values never reach kernels, seeds, wire\n\n\
          --json             one JSON object per finding on stdout (timings go to stderr)\n  \

@@ -63,6 +63,10 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     ("gtv_ml", &["gtv_data", "gtv_tensor", "gtv_nn"]),
     ("gtv_cond", &["gtv_data", "gtv_encoders", "gtv_tensor"]),
     ("gtv", &["gtv_tensor", "gtv_nn", "gtv_data", "gtv_encoders", "gtv_cond", "gtv_vfl"]),
+    // Serving sits above the umbrella: it loads trained synthesizers and
+    // re-uses the transport's endpoint/error vocabulary, but no lower
+    // layer may know about request coalescing.
+    ("gtv_serve", &["gtv", "gtv_tensor", "gtv_data", "gtv_vfl"]),
     ("gtv_cli", &["*"]),
     ("gtv_bench", &["*"]),
     ("gtv_suite", &["*"]),
@@ -317,7 +321,14 @@ pub fn lint_cast_safety(units: &[FileUnit], findings: &mut Vec<Finding>) {
             continue;
         }
         let stem = file_stem(unit);
-        if !stem.contains("wire") && !stem.contains("transport") && !stem.contains("socket") {
+        // The serving crate is wire-adjacent end to end (frames in, frames
+        // out), so every one of its sources is in scope, not just `wire.rs`.
+        let serve = unit.rel_str.starts_with("crates/serve/src/");
+        if !serve
+            && !stem.contains("wire")
+            && !stem.contains("transport")
+            && !stem.contains("socket")
+        {
             continue;
         }
         for f in &unit.ast.fns {

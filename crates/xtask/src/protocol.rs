@@ -22,6 +22,16 @@
 //! match a declared direction; and `enum Message` in any scanned `wire.rs`
 //! must stay in bijection with the machine's edge labels (drift check,
 //! mirroring L6's registry-drift).
+//!
+//! The synthesis-serving session (DESIGN.md §14) is a second, disjoint
+//! machine over `ServeFrame`: a client handshakes (`SynthHello` →
+//! `SynthHelloAck`), then issues requests that resolve to rows, a
+//! backpressure rejection, or a typed error. Serve-side protocol files
+//! (`crates/serve/src/server.rs`, `crates/serve/src/engine.rs`) are
+//! checked against [`SERVE_EDGES`] by the same NFA walk — variant and
+//! state names are disjoint from the round machine, so both tables simply
+//! union — and `enum ServeFrame` in a scanned `wire.rs` gets its own
+//! drift check against the serve table.
 
 use std::collections::{HashMap, HashSet};
 
@@ -161,6 +171,88 @@ pub const PROTOCOL_EDGES: &[ProtocolEdge] = &[
     },
 ];
 
+/// The states of the synthesis-serving session machine, `SessIdle` first.
+pub const SERVE_STATES: &[&str] = &["SessIdle", "SessHello", "SessReady", "SessPending"];
+
+/// The serving-session choreography over `ServeFrame` (DESIGN.md §14). A
+/// reply may also land while the session is already `SessReady` — requests
+/// pipeline on one connection, so a busy/error frame can trail the reply
+/// that restored readiness — hence the two self-loops.
+pub const SERVE_EDGES: &[ProtocolEdge] = &[
+    ProtocolEdge {
+        from: "SessIdle",
+        msg: "SynthHello",
+        dir: Dir::ClientToServer,
+        to: "SessHello",
+        phase: "handshake",
+    },
+    ProtocolEdge {
+        from: "SessHello",
+        msg: "SynthHelloAck",
+        dir: Dir::ServerToClient,
+        to: "SessReady",
+        phase: "handshake",
+    },
+    ProtocolEdge {
+        from: "SessHello",
+        msg: "SynthErr",
+        dir: Dir::ServerToClient,
+        to: "SessIdle",
+        phase: "handshake",
+    },
+    ProtocolEdge {
+        from: "SessReady",
+        msg: "SynthRequest",
+        dir: Dir::ClientToServer,
+        to: "SessPending",
+        phase: "request",
+    },
+    ProtocolEdge {
+        from: "SessPending",
+        msg: "SynthRows",
+        dir: Dir::ServerToClient,
+        to: "SessReady",
+        phase: "reply",
+    },
+    ProtocolEdge {
+        from: "SessPending",
+        msg: "SynthBusy",
+        dir: Dir::ServerToClient,
+        to: "SessReady",
+        phase: "reply",
+    },
+    ProtocolEdge {
+        from: "SessPending",
+        msg: "SynthErr",
+        dir: Dir::ServerToClient,
+        to: "SessReady",
+        phase: "reply",
+    },
+    ProtocolEdge {
+        from: "SessReady",
+        msg: "SynthBusy",
+        dir: Dir::ServerToClient,
+        to: "SessReady",
+        phase: "reply",
+    },
+    ProtocolEdge {
+        from: "SessReady",
+        msg: "SynthErr",
+        dir: Dir::ServerToClient,
+        to: "SessReady",
+        phase: "reply",
+    },
+];
+
+/// Every edge of both machines; their variant and state name spaces are
+/// disjoint, so one NFA walk over the union checks either kind of file.
+fn all_edges() -> impl Iterator<Item = &'static ProtocolEdge> {
+    PROTOCOL_EDGES.iter().chain(SERVE_EDGES.iter())
+}
+
+/// The enum names whose `Enum::Variant` tokens witness a protocol op.
+const PROTOCOL_ENUMS: &[&str] = &["Message", "ServeFrame"];
+
 /// Receive-style calls whose expected-kind argument is a variant-name
 /// string literal on the call line (or its continuation line).
 const RECV_CALLS: &[&str] = &["recv_expect", "gather", "fan_in"];
@@ -173,7 +265,15 @@ const MAX_DEPTH: usize = 8;
 /// sequences and eligible for callee expansion).
 fn is_protocol_file(unit: &FileUnit) -> bool {
     let stem = file_stem(unit);
-    stem.contains("trainer") || stem.contains("transport") || stem.contains("socket")
+    stem.contains("trainer")
+        || stem.contains("transport")
+        || stem.contains("socket")
+        // The serving session's choreography lives in the connection
+        // handler and the request engine; the serve `wire.rs` is codec
+        // code whose variant order is arbitrary (like the round wire.rs)
+        // and is covered by the drift check instead.
+        || (unit.rel_str.starts_with("crates/serve/")
+            && (stem.contains("server") || stem.contains("engine")))
 }
 
 /// One protocol operation extracted from a function body: a `Message`
@@ -181,15 +281,18 @@ fn is_protocol_file(unit: &FileUnit) -> bool {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Op {
     variant: String,
+    /// The enum the variant was seen on (`Message` or `ServeFrame`), for
+    /// finding text.
+    enum_name: &'static str,
     /// Index of the op's file in `units` (ops keep their true origin even
     /// when inlined into a caller's sequence).
     unit: usize,
     line: usize,
 }
 
-/// All variant names the machine knows.
+/// All variant names either machine knows.
 fn machine_variants() -> HashSet<&'static str> {
-    PROTOCOL_EDGES.iter().map(|e| e.msg).collect()
+    all_edges().map(|e| e.msg).collect()
 }
 
 /// L10: protocol-order conformance over trainer/transport files.
@@ -220,6 +323,7 @@ pub(crate) fn lint_protocol_order(units: &[FileUnit], findings: &mut Vec<Finding
     for (u, unit) in units.iter().enumerate() {
         if file_stem(unit) == "wire" {
             check_wire_drift(units, u, &known, findings);
+            check_serve_wire_drift(units, u, findings);
         }
     }
 }
@@ -249,27 +353,31 @@ fn ops_of(
     let mut i = 0;
     while i < body.len() {
         let t = &body[i];
-        // `Message::Variant` — a send-site constructor or a recv-side match
-        // pattern; both witness the variant at this point of the sequence.
-        if t.text == "Message"
-            && body.get(i + 1).map(|n| n.text == ":").unwrap_or(false)
-            && body.get(i + 2).map(|n| n.text == ":").unwrap_or(false)
-        {
-            if let Some(v) = body.get(i + 3) {
-                if v.kind == TokKind::Ident
-                    && v.text.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
-                {
-                    ops.push(Op { variant: v.text.clone(), unit: u, line: v.line });
-                    i += 4;
-                    continue;
+        // `Message::Variant` / `ServeFrame::Variant` — a send-site
+        // constructor or a recv-side match pattern; both witness the
+        // variant at this point of the sequence.
+        if let Some(&enum_name) = PROTOCOL_ENUMS.iter().find(|e| **e == t.text) {
+            if body.get(i + 1).map(|n| n.text == ":").unwrap_or(false)
+                && body.get(i + 2).map(|n| n.text == ":").unwrap_or(false)
+            {
+                if let Some(v) = body.get(i + 3) {
+                    if v.kind == TokKind::Ident
+                        && v.text.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+                    {
+                        ops.push(Op { variant: v.text.clone(), enum_name, unit: u, line: v.line });
+                        i += 4;
+                        continue;
+                    }
                 }
             }
         }
         if t.kind == TokKind::Ident && body.get(i + 1).map(|n| n.text == "(").unwrap_or(false) {
-            // Expected-kind string argument on a receive-style call.
+            // Expected-kind string argument on a receive-style call (the
+            // round machine's transport idiom; serve code names frames
+            // directly).
             if RECV_CALLS.contains(&t.text.as_str()) {
                 if let Some((line, v)) = expected_kind_on(unit, t.line, known) {
-                    ops.push(Op { variant: v, unit: u, line });
+                    ops.push(Op { variant: v, enum_name: "Message", unit: u, line });
                 }
             }
             // Descend into workspace callees that live in protocol files.
@@ -328,19 +436,21 @@ fn check_sequence(
     known: &HashSet<&'static str>,
     findings: &mut Vec<Finding>,
 ) {
-    let mut states: HashSet<&str> = PROTOCOL_STATES.iter().copied().collect();
+    let mut states: HashSet<&str> =
+        PROTOCOL_STATES.iter().chain(SERVE_STATES.iter()).copied().collect();
     let mut prev: Option<&Op> = None;
     for op in ops {
         let unit = &units[op.unit];
         if !known.contains(op.variant.as_str()) {
+            let table = if op.enum_name == "ServeFrame" { "SERVE_EDGES" } else { "PROTOCOL_EDGES" };
             if !suppressed(&unit.lines, op.line - 1, Rule::ProtocolOrder, &unit.rel, findings) {
                 findings.push(Finding {
                     file: unit.rel.clone(),
                     line: op.line,
                     rule: Rule::ProtocolOrder,
                     message: format!(
-                        "`Message::{}` does not appear in the declared protocol machine (protocol::PROTOCOL_EDGES)",
-                        op.variant
+                        "`{}::{}` does not appear in the declared protocol machine (protocol::{table})",
+                        op.enum_name, op.variant
                     ),
                 });
             }
@@ -348,8 +458,7 @@ fn check_sequence(
             // cascade an order finding off the same token.
             continue;
         }
-        let next: HashSet<&str> = PROTOCOL_EDGES
-            .iter()
+        let next: HashSet<&str> = all_edges()
             .filter(|e| e.msg == op.variant && states.contains(e.from))
             .map(|e| e.to)
             .collect();
@@ -383,8 +492,10 @@ fn check_directions(graph: &RefGraph<'_>, idx: usize, findings: &mut Vec<Finding
     let (unit, f) = graph.fns[idx];
     let body = &f.body;
     for i in 0..body.len() {
-        if body[i].text != "Message"
-            || body.get(i + 1).map(|n| n.text != ":").unwrap_or(true)
+        let Some(&enum_name) = PROTOCOL_ENUMS.iter().find(|e| **e == body[i].text) else {
+            continue;
+        };
+        if body.get(i + 1).map(|n| n.text != ":").unwrap_or(true)
             || body.get(i + 2).map(|n| n.text != ":").unwrap_or(true)
         {
             continue;
@@ -400,8 +511,7 @@ fn check_directions(graph: &RefGraph<'_>, idx: usize, findings: &mut Vec<Finding
         let Some((from, to)) = party_pair_before(body, i) else {
             continue; // match patterns and bare constructs carry no endpoints
         };
-        let dirs: Vec<Dir> =
-            PROTOCOL_EDGES.iter().filter(|e| e.msg == v.text).map(|e| e.dir).collect();
+        let dirs: Vec<Dir> = all_edges().filter(|e| e.msg == v.text).map(|e| e.dir).collect();
         if dirs.is_empty() {
             continue; // undeclared variant: the order check already reports it
         }
@@ -415,8 +525,9 @@ fn check_directions(graph: &RefGraph<'_>, idx: usize, findings: &mut Vec<Finding
                 line: v.line,
                 rule: Rule::ProtocolOrder,
                 message: format!(
-                    "`{}` must not send `Message::{}` to `{}`; the machine admits only {}",
+                    "`{}` must not send `{}::{}` to `{}`; the machine admits only {}",
                     from.to_ascii_lowercase(),
+                    enum_name,
                     v.text,
                     to.to_ascii_lowercase(),
                     allowed.join(", ")
@@ -524,6 +635,58 @@ fn check_wire_drift(
     }
 }
 
+/// Serving-machine drift check tying `enum ServeFrame` in a scanned
+/// `wire.rs` to [`SERVE_EDGES`]: every variant must label an edge, and
+/// every edge label must be a real variant.
+fn check_serve_wire_drift(units: &[FileUnit], u: usize, findings: &mut Vec<Finding>) {
+    let serve_known: HashSet<&str> = SERVE_EDGES.iter().map(|e| e.msg).collect();
+    let unit = &units[u];
+    for ty in &unit.ast.types {
+        if !ty.is_enum || ty.name != "ServeFrame" {
+            continue;
+        }
+        for variant in &ty.variants {
+            if serve_known.contains(variant.as_str()) {
+                continue;
+            }
+            let line = ty
+                .fields
+                .iter()
+                .find(|fd| fd.variant.as_deref() == Some(variant))
+                .map(|fd| fd.line)
+                .unwrap_or(ty.line);
+            if !suppressed(&unit.lines, line - 1, Rule::ProtocolOrder, &unit.rel, findings) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line,
+                    rule: Rule::ProtocolOrder,
+                    message: format!(
+                        "`ServeFrame::{variant}` has no edge in the serving machine; declare its transition in protocol::SERVE_EDGES"
+                    ),
+                });
+            }
+        }
+        let declared: HashSet<&str> = ty.variants.iter().map(|s| s.as_str()).collect();
+        let mut reported: HashSet<&str> = HashSet::new();
+        for edge in SERVE_EDGES {
+            if !declared.contains(edge.msg)
+                && reported.insert(edge.msg)
+                && !suppressed(&unit.lines, ty.line - 1, Rule::ProtocolOrder, &unit.rel, findings)
+            {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: ty.line,
+                    rule: Rule::ProtocolOrder,
+                    message: format!(
+                        "serving machine edge `{}` names no `ServeFrame` variant; the machine is stale",
+                        edge.msg
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +719,96 @@ mod tests {
             assert!(PROTOCOL_STATES.contains(&e.from), "undeclared state {}", e.from);
             assert!(PROTOCOL_STATES.contains(&e.to), "undeclared state {}", e.to);
         }
+        for e in SERVE_EDGES {
+            assert!(SERVE_STATES.contains(&e.from), "undeclared state {}", e.from);
+            assert!(SERVE_STATES.contains(&e.to), "undeclared state {}", e.to);
+        }
+    }
+
+    #[test]
+    fn the_machines_share_no_variant_or_state_names() {
+        // The NFA walks the union of both tables; disjoint name spaces are
+        // what keep a sequence from silently hopping between machines.
+        for e in SERVE_EDGES {
+            assert!(
+                !PROTOCOL_EDGES.iter().any(|p| p.msg == e.msg),
+                "variant `{}` appears in both machines",
+                e.msg
+            );
+        }
+        for s in SERVE_STATES {
+            assert!(!PROTOCOL_STATES.contains(s), "state `{s}` appears in both machines");
+        }
+    }
+
+    fn lint_serve(src: &str) -> Vec<Finding> {
+        let units = vec![unit("crates/serve/src/server.rs", src)];
+        let mut findings = Vec::new();
+        lint_protocol_order(&units, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn a_full_serving_session_is_a_path() {
+        // Handshake, an error reply, then a request resolving each way —
+        // the connection handler's own token order.
+        let src = "impl T { fn session(&self) {\n\
+            match m { ServeFrame::SynthHello { protocol } => a, _ => b };\n\
+            let ack = ServeFrame::SynthHelloAck { protocol: SERVE_PROTOCOL };\n\
+            let err = ServeFrame::SynthErr { id: 0, reason };\n\
+            match n { ServeFrame::SynthRequest { id, model } => c, _ => d };\n\
+            let rows = ServeFrame::SynthRows { id, csv };\n\
+            let busy = ServeFrame::SynthBusy { id, depth, retry_after_ticks };\n\
+            let err2 = ServeFrame::SynthErr { id, reason };\n\
+        } }\n";
+        assert!(lint_serve(src).is_empty(), "{:?}", lint_serve(src));
+    }
+
+    #[test]
+    fn a_request_before_the_handshake_completes_is_flagged() {
+        let src = "impl T { fn bad(&self) {\n\
+            match m { ServeFrame::SynthHello { protocol } => a, _ => b };\n\
+            match n { ServeFrame::SynthRequest { id, model } => c, _ => d };\n\
+        } }\n";
+        let findings = lint_serve(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`SynthRequest` cannot follow `SynthHello`"));
+    }
+
+    #[test]
+    fn undeclared_serve_frame_names_the_serve_table() {
+        let src = "impl T { fn bad(&self) {\n\
+            let x = ServeFrame::SynthCancel { id };\n\
+        } }\n";
+        let findings = lint_serve(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("`ServeFrame::SynthCancel` does not appear"),
+            "{findings:?}"
+        );
+        assert!(findings[0].message.contains("SERVE_EDGES"), "{findings:?}");
+    }
+
+    #[test]
+    fn serve_wire_drift_is_checked_both_ways() {
+        let src = "pub enum ServeFrame {\n\
+            SynthHello { protocol: u32 },\n\
+            SynthGoodbye,\n\
+        }\n";
+        let units = vec![unit("crates/serve/src/wire.rs", src)];
+        let mut findings = Vec::new();
+        lint_protocol_order(&units, &mut findings);
+        assert!(
+            findings.iter().any(|f| f.message.contains("`ServeFrame::SynthGoodbye`")),
+            "{findings:?}"
+        );
+        // Five distinct labels (Ack, Err, Request, Rows, Busy) are missing
+        // from the enum; multi-edge labels report once.
+        assert_eq!(
+            findings.iter().filter(|f| f.message.contains("the machine is stale")).count(),
+            5,
+            "{findings:?}"
+        );
     }
 
     #[test]

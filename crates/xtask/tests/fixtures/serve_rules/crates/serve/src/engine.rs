@@ -1,0 +1,15 @@
+//! Known-bad fixture: a panic token and a wall-clock read in the serving
+//! engine (batching policy must be tick-denominated, never timed).
+
+pub fn take_ticket(slot: Option<u64>) -> u64 {
+    slot.unwrap()
+}
+
+pub fn batch_age_ms(started: std::time::Instant) -> u128 {
+    Instant::now().duration_since(started).as_millis()
+}
+
+pub fn suppressed_ticket(slot: Option<u64>) -> u64 {
+    // gtv-lint: allow(panic) -- fixture proves the escape hatch works here too
+    slot.unwrap()
+}

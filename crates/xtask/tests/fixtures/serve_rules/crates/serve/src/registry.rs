@@ -1,0 +1,12 @@
+//! Known-bad fixture: an unguarded narrowing cast on the serving path —
+//! every serve source is wire-adjacent, not just `wire.rs`.
+
+pub fn model_slot(id: u64) -> u32 {
+    id as u32
+}
+
+pub fn tagged_slot(id: u64) -> u32 {
+    let masked = id & 0xffff;
+    // gtv-lint: allow(cast-safety) -- slot index is < 2^16 by construction
+    masked as u32
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: a rows reply witnessed before the handshake
+//! completes — not a path through the serving-session machine.
+
+pub fn bad_session(m: ServeFrame) -> ServeFrame {
+    match m {
+        ServeFrame::SynthHello { protocol } => drop(protocol),
+        _ => (),
+    }
+    ServeFrame::SynthRows { id: 0, csv: Vec::new() }
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: the serving wire enum drifted from the declared
+//! machine — a variant with no edge in `protocol::SERVE_EDGES`.
+
+pub enum ServeFrame {
+    SynthHello { protocol: u32 },
+    SynthHelloAck { protocol: u32 },
+    SynthRequest { id: u64, n: u64 },
+    SynthRows { id: u64 },
+    SynthBusy { id: u64 },
+    SynthErr { id: u64 },
+    SynthCancel { id: u64 },
+}

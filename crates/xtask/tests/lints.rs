@@ -241,6 +241,32 @@ fn l10_flags_out_of_order_direction_and_machine_drift() {
 }
 
 #[test]
+fn serve_sources_are_covered_by_panic_determinism_cast_and_protocol_rules() {
+    let findings = lint("serve_rules");
+    let locations: Vec<(&str, usize, Rule)> =
+        findings.iter().map(|f| (f.file.to_str().unwrap(), f.line, f.rule)).collect();
+    assert_eq!(
+        locations,
+        vec![
+            // The engine is an L1 protocol path and must stay tick-driven.
+            ("crates/serve/src/engine.rs", 5, Rule::Panic),
+            ("crates/serve/src/engine.rs", 9, Rule::Determinism),
+            // Every serve source is in L8 scope, not just `wire.rs`.
+            ("crates/serve/src/registry.rs", 5, Rule::CastSafety),
+            // A reply before the handshake completes breaks the session NFA.
+            ("crates/serve/src/server.rs", 9, Rule::ProtocolOrder),
+            // A frame variant with no edge in the serving machine.
+            ("crates/serve/src/wire.rs", 11, Rule::ProtocolOrder),
+        ],
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("`SynthRows` cannot follow `SynthHello`")));
+    assert!(findings.iter().any(|f| f
+        .message
+        .contains("`ServeFrame::SynthCancel` has no edge in the serving machine")));
+}
+
+#[test]
 fn json_output_is_deterministic_and_sorted_across_runs() {
     let render = |findings: &[Finding]| -> String {
         findings.iter().map(Finding::to_json).collect::<Vec<_>>().join("\n")

@@ -7,7 +7,7 @@
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
-use gtv_xtask::protocol::{Dir, PROTOCOL_EDGES, PROTOCOL_STATES};
+use gtv_xtask::protocol::{Dir, PROTOCOL_EDGES, PROTOCOL_STATES, SERVE_EDGES, SERVE_STATES};
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -97,6 +97,73 @@ fn every_variant_has_exactly_one_phase_per_direction() {
             "duplicate edge `{}` out of `{}`: the machine must be deterministic",
             e.msg,
             e.from
+        );
+    }
+}
+
+#[test]
+fn serve_machine_and_wire_enum_are_in_bijection() {
+    let variants = gtv_xtask::serve_frame_variants(&workspace_root())
+        .expect("crates/serve/src/wire.rs should parse");
+    assert!(!variants.is_empty(), "serve wire.rs must declare enum ServeFrame");
+    let declared: HashSet<&str> = variants.iter().map(String::as_str).collect();
+    let machine: HashSet<&str> = SERVE_EDGES.iter().map(|e| e.msg).collect();
+    for v in &declared {
+        assert!(machine.contains(v), "`ServeFrame::{v}` has no edge in the serving machine");
+    }
+    for m in &machine {
+        assert!(
+            declared.contains(m),
+            "serving machine edge `{m}` names no real ServeFrame variant"
+        );
+    }
+}
+
+#[test]
+fn every_serve_edge_is_reachable_from_sess_idle() {
+    let mut reached: HashSet<&str> = HashSet::new();
+    reached.insert("SessIdle");
+    loop {
+        let grown: Vec<&str> = SERVE_EDGES
+            .iter()
+            .filter(|e| reached.contains(e.from) && !reached.contains(e.to))
+            .map(|e| e.to)
+            .collect();
+        if grown.is_empty() {
+            break;
+        }
+        reached.extend(grown);
+    }
+    for state in SERVE_STATES {
+        assert!(reached.contains(state), "state `{state}` is unreachable from SessIdle");
+    }
+    for e in SERVE_EDGES {
+        assert!(reached.contains(e.from), "serve edge `{}` can never fire", e.msg);
+    }
+}
+
+#[test]
+fn serve_machine_is_deterministic_and_request_flow_is_client_initiated() {
+    let mut seen: HashSet<(&str, &str)> = HashSet::new();
+    for e in SERVE_EDGES {
+        assert!(
+            seen.insert((e.msg, e.from)),
+            "duplicate serve edge `{}` out of `{}`: the machine must be deterministic",
+            e.msg,
+            e.from
+        );
+    }
+    // Clients drive the session (hello, request); everything the server
+    // sends is a reply. A server-initiated frame would let the engine push
+    // rows nobody asked for.
+    for e in SERVE_EDGES {
+        let expect = matches!(e.msg, "SynthHello" | "SynthRequest");
+        assert_eq!(
+            e.dir == Dir::ClientToServer,
+            expect,
+            "edge `{}` has direction {:?}",
+            e.msg,
+            e.dir
         );
     }
 }

@@ -83,9 +83,18 @@ step "comms benchmark (BENCH_comms.json)"
 cargo build -q --release -p gtv-bench --bin bench_comms
 GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_comms target/BENCH_comms.json
 
+step "serve benchmark (BENCH_serve.json)"
+# Closed-loop clients against the in-process synthesis service at rising
+# concurrency: rows/s, request p50/p99 latency, the coalesced batch-size
+# histogram and the tensor pool hit rate (DESIGN.md §14). Steady-state
+# serving must run from recycled buffers.
+cargo build -q --release -p gtv-bench --bin bench_serve
+GTV_BENCH_REPS="${GTV_BENCH_REPS:-2}" ./target/release/bench_serve target/BENCH_serve.json
+
 # Publish the benchmark artifacts at the repo root.
 cp target/BENCH_tensor.json BENCH_tensor.json
 cp target/BENCH_step.json BENCH_step.json
 cp target/BENCH_comms.json BENCH_comms.json
+cp target/BENCH_serve.json BENCH_serve.json
 
 printf '\nci: all gates passed\n'
